@@ -1,0 +1,174 @@
+// Command hbench regenerates the tables and figures of the hStorage-DB
+// paper's evaluation (Section 6) against the simulated hybrid storage
+// system.
+//
+// Usage:
+//
+//	hbench -exp all
+//	hbench -exp fig5,fig6,table5 -sf 0.02 -cache 0.7
+//
+// Experiments: fig4, fig5, table4, fig6, table5, table6, fig9, table7,
+// fig11 (includes table8), table9, fig12, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"hstoragedb/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	exp := flag.String("exp", "all", "comma-separated experiment ids (fig4 fig5 table4 fig6 table5 table6 fig9 table7 fig11 table9 fig12 all)")
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
+	cache := flag.Float64("cache", 0.7, "SSD cache size as a fraction of total data pages")
+	bp := flag.Float64("bp", 0.04, "buffer pool size as a fraction of total data pages")
+	workMem := flag.Int("workmem", 3000, "blocking-operator memory budget in tuples")
+	seed := flag.Int64("seed", 0, "query parameter seed")
+	streams := flag.Int("streams", 3, "query streams in the throughput test")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		SF:              *sf,
+		CacheRatio:      *cache,
+		BufferPoolRatio: *bp,
+		WorkMem:         *workMem,
+		Seed:            *seed,
+	}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(strings.ToLower(id))] = true
+	}
+	all := want["all"]
+	has := func(id string) bool { return all || want[id] }
+
+	fmt.Printf("hbench: SF=%g cache=%.0f%% of data, bp=%.0f%%, workmem=%d tuples\n",
+		cfg.SF, 100*cfg.CacheRatio, 100*cfg.BufferPoolRatio, cfg.WorkMem)
+	fmt.Println("loading dataset...")
+	env, err := experiments.NewEnv(cfg)
+	if err != nil {
+		log.Fatalf("load: %v", err)
+	}
+	fmt.Printf("loaded: %d data pages (%.1f MB)\n\n", env.Data, float64(env.Data)*8/1024)
+
+	ran := false
+	run := func(id string, f func() error) {
+		if !has(id) {
+			return
+		}
+		ran = true
+		if err := f(); err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		fmt.Println()
+	}
+
+	run("fig4", func() error {
+		shares, err := env.Fig4()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFig4(shares))
+		return nil
+	})
+	run("fig5", func() error {
+		rows, err := env.Fig5()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatModeTimes("Figure 5: sequential-dominated queries (Q1, Q5, Q11, Q19)", rows))
+		return nil
+	})
+	run("table4", func() error {
+		rows, err := env.Table4()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTable4(rows))
+		return nil
+	})
+	run("fig6", func() error {
+		rows, err := env.Fig6()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatModeTimes("Figure 6: random-dominated queries (Q9, Q21)", rows))
+		return nil
+	})
+	run("table5", func() error {
+		rows, err := env.Table5()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatPrioTable("Table 5: Q9 random-request cache statistics (hStorage-DB)",
+			map[string][]experiments.PrioRow{"hStorage-DB": rows}, []string{"hStorage-DB"}))
+		return nil
+	})
+	run("table6", func() error {
+		hs, lru, err := env.Table6()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatPrioTable("Table 6: Q21 cache statistics",
+			map[string][]experiments.PrioRow{"hStorage-DB": hs, "LRU": lru},
+			[]string{"hStorage-DB", "LRU"}))
+		return nil
+	})
+	run("fig9", func() error {
+		rows, err := env.Fig9()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatModeTimes("Figure 9: temp-data query (Q18)", rows))
+		return nil
+	})
+	run("table7", func() error {
+		hs, lru, err := env.Table7()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatPrioTable("Table 7: Q18 cache statistics (temp reads vs sequential)",
+			map[string][]experiments.PrioRow{"hStorage-DB": hs, "LRU": lru},
+			[]string{"hStorage-DB", "LRU"}))
+		return nil
+	})
+	run("fig11", func() error {
+		res, err := env.Fig11()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFig11(res))
+		return nil
+	})
+	if has("table9") || has("fig12") {
+		ran = true
+		tEnv, err := experiments.NewEnv(cfg.ThroughputConfig())
+		if err != nil {
+			log.Fatalf("throughput env: %v", err)
+		}
+		t9, err := tEnv.Table9(*streams)
+		if err != nil {
+			log.Fatalf("table9: %v", err)
+		}
+		if has("table9") {
+			fmt.Println(experiments.FormatTable9(t9))
+		}
+		if has("fig12") {
+			f12, err := tEnv.Fig12(t9)
+			if err != nil {
+				log.Fatalf("fig12: %v", err)
+			}
+			fmt.Println(experiments.FormatFig12(f12))
+		}
+	}
+
+	if !ran {
+		fmt.Fprintf(os.Stderr, "no experiment matched %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,85 @@
+// Concurrent query streams (Section 6.4 of the paper): multiple sessions
+// run TPC-H queries against one shared instance, contending for the same
+// devices, while Rule 5 keeps priority assignment deterministic across
+// queries. Compares LRU and hStorage-DB under concurrency — the scenario
+// where the paper's gains are largest (Table 9, Figure 12).
+//
+//	go run ./examples/concurrent_streams [-streams 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"hstoragedb"
+)
+
+func main() {
+	streams := flag.Int("streams", 3, "number of concurrent query streams")
+	sf := flag.Float64("sf", 0.004, "TPC-H scale factor")
+	flag.Parse()
+
+	fmt.Printf("loading TPC-H at SF %g...\n", *sf)
+	ds, err := hstoragedb.LoadTPCH(*sf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data := ds.DB.Store.TotalPages()
+	orders := hstoragedb.ThroughputOrders(*streams)
+
+	for _, mode := range []hstoragedb.Mode{hstoragedb.LRU, hstoragedb.HStorage} {
+		inst, err := ds.DB.NewInstance(hstoragedb.InstanceConfig{
+			Storage: hstoragedb.StorageConfig{
+				Mode:        mode,
+				CacheBlocks: int(float64(data) * 0.25), // paper: 4 GB cache / 16 GB data
+			},
+			BufferPoolPages: int(float64(data) * 0.05),
+			WorkMem:         3000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		var wg sync.WaitGroup
+		makespans := make([]time.Duration, len(orders))
+		for i := range orders {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sess := inst.NewSession()
+				for _, q := range orders[i] {
+					op, err := ds.Query(q, int64(i)+1)
+					if err != nil {
+						log.Fatal(err)
+					}
+					if _, _, err := sess.ExecuteDiscard(op); err != nil {
+						log.Fatalf("stream %d Q%d: %v", i, q, err)
+					}
+				}
+				makespans[i] = sess.Clk.Now()
+			}(i)
+		}
+		wg.Wait()
+
+		var max time.Duration
+		for _, m := range makespans {
+			if m > max {
+				max = m
+			}
+		}
+		total := len(orders) * 22
+		qph := float64(total) * float64(time.Hour) / float64(max)
+		fmt.Printf("\n=== %v ===\n", mode)
+		fmt.Printf("streams: %d, queries: %d, makespan: %v\n", len(orders), total, max)
+		fmt.Printf("throughput: %.0f queries/hour of simulated time\n", qph)
+		snap := inst.Sys.Stats()
+		fmt.Printf("cache: %.1f%% hit ratio, %d evictions, %d TRIMmed blocks\n",
+			100*snap.HitRatio(), snap.Evictions, snap.Trimmed)
+	}
+	fmt.Println("\nThe paper's Table 9: hStorage-DB reaches 1.5x the LRU throughput;")
+	fmt.Println("concurrency amplifies the gap because semantic classification needs")
+	fmt.Println("no ramp-up time and survives interleaved access patterns.")
+}

@@ -1,0 +1,200 @@
+// Package hstoragedb is a reproduction of "hStorage-DB:
+// Heterogeneity-aware Data Management to Exploit the Full Capability of
+// Hybrid Storage Systems" (Luo, Lee, Mesnier, Chen, Zhang — PVLDB 5(10),
+// 2012) as a self-contained Go library.
+//
+// The package bundles, end to end, everything the paper's evaluation
+// needs:
+//
+//   - a simulated hybrid storage system: an SSD cache over an HDD managed
+//     by the paper's priority-based selective allocation / selective
+//     eviction (plus LRU, HDD-only and SSD-only configurations),
+//   - the Differentiated Storage Services request classification layer,
+//   - a small DBMS engine (buffer pool, heap files, B+trees, an iterator
+//     executor with plan-level tracking) whose storage manager assigns
+//     each I/O request a QoS policy per the paper's Rules 1-5,
+//   - a deterministic scaled-down TPC-H workload: generator, the nine
+//     indexes of Table 3, all 22 queries, RF1/RF2, power and throughput
+//     test drivers,
+//   - experiment drivers that regenerate every figure and table of
+//     Section 6.
+//
+// # Quick start
+//
+//	ds, err := hstoragedb.LoadTPCH(0.01)           // generate + load + index
+//	inst, err := ds.DB.NewInstance(hstoragedb.InstanceConfig{
+//	    Storage: hstoragedb.StorageConfig{Mode: hstoragedb.HStorage, CacheBlocks: 4096},
+//	})
+//	sess := inst.NewSession()
+//	res, err := sess.Execute(ds.MustQuery(9, 0))    // run TPC-H Q9
+//	fmt.Println(res.Elapsed, inst.Sys.Stats())
+//
+// Execution time is simulated (discrete-event device models parameterized
+// with the paper's Table 2); the library is deterministic end to end.
+package hstoragedb
+
+import (
+	"hstoragedb/internal/device"
+	"hstoragedb/internal/dss"
+	"hstoragedb/internal/engine"
+	"hstoragedb/internal/engine/catalog"
+	"hstoragedb/internal/engine/exec"
+	"hstoragedb/internal/engine/policy"
+	"hstoragedb/internal/experiments"
+	"hstoragedb/internal/hybrid"
+	"hstoragedb/internal/tpch"
+)
+
+// Storage configuration: the four configurations of the evaluation and
+// the {N, t, b} QoS policy space.
+type (
+	// Mode selects HDD-only, LRU, hStorage-DB or SSD-only.
+	Mode = hybrid.Mode
+	// StorageConfig sizes and parameterizes a storage system.
+	StorageConfig = hybrid.Config
+	// PolicySpace is the {N, t, b} tuple plus the random priority range.
+	PolicySpace = dss.PolicySpace
+	// Class is a caching priority attached to a request.
+	Class = dss.Class
+	// Snapshot is a storage system's counter snapshot (cache hits per
+	// priority, evictions, TRIMs, ...).
+	Snapshot = hybrid.Snapshot
+	// DeviceSpec parameterizes a simulated device.
+	DeviceSpec = device.Spec
+)
+
+// The four storage configurations of Section 6.
+const (
+	HDDOnly  = hybrid.HDDOnly
+	LRU      = hybrid.LRU
+	HStorage = hybrid.HStorage
+	SSDOnly  = hybrid.SSDOnly
+	// ARC is an extension baseline: the adaptive replacement cache, a
+	// stronger monitoring-based policy than the paper's LRU.
+	ARC = hybrid.ARC
+)
+
+// Modes lists the four configurations in the paper's plotting order.
+func Modes() []Mode { return hybrid.Modes() }
+
+// DefaultPolicySpace returns the paper's policy configuration: N = 8,
+// t = N-1, b = 10%, random priorities in [2, 6].
+func DefaultPolicySpace() PolicySpace { return dss.DefaultPolicySpace() }
+
+// Cheetah15K and Intel320 are the device models of Table 2.
+func Cheetah15K() DeviceSpec { return device.Cheetah15K() }
+func Intel320() DeviceSpec   { return device.Intel320() }
+
+// Engine: databases, instances, sessions.
+type (
+	// Database is the persistent half: catalog plus page contents.
+	Database = engine.Database
+	// Instance is a running engine: buffer pool + classification-enabled
+	// storage manager + one storage system.
+	Instance = engine.Instance
+	// InstanceConfig sizes an instance.
+	InstanceConfig = engine.InstanceConfig
+	// Session is one query stream on its own simulated clock.
+	Session = engine.Session
+	// Result is a query execution outcome.
+	Result = engine.Result
+)
+
+// NewDatabase creates an empty database.
+func NewDatabase() *Database { return engine.NewDatabase() }
+
+// DefaultInstanceConfig returns a laptop-scale hStorage configuration.
+func DefaultInstanceConfig() InstanceConfig { return engine.DefaultInstanceConfig() }
+
+// Schema / tuple surface for building custom tables and plans.
+type (
+	Schema  = catalog.Schema
+	Column  = catalog.Column
+	ColType = catalog.ColType
+	Tuple   = catalog.Tuple
+	Datum   = catalog.Datum
+)
+
+// Column types.
+const (
+	Int64Col   = catalog.Int64
+	Float64Col = catalog.Float64
+	StringCol  = catalog.String
+	DateCol    = catalog.Date
+)
+
+// Datum constructors.
+var (
+	Int    = catalog.IntDatum
+	Float  = catalog.FloatDatum
+	String = catalog.StringDatum
+)
+
+// NewSchema builds a schema from columns.
+func NewSchema(cols ...Column) Schema { return catalog.NewSchema(cols...) }
+
+// Executor operators, for building query plans against the public API.
+// Plans are trees of operators; Session.Execute assigns plan levels
+// (Section 4.2.2), registers the plan's random-access footprint for
+// Rule 5, and drains the tree on the session clock.
+type (
+	Operator    = exec.Operator
+	TableHandle = exec.TableHandle
+	SeqScan     = exec.SeqScan
+	IndexScan   = exec.IndexScan
+	IndexProbe  = exec.IndexProbe
+	NestLoop    = exec.NestLoop
+	Hash        = exec.Hash
+	HashJoin    = exec.HashJoin
+	HashAgg     = exec.HashAgg
+	Sort        = exec.Sort
+	TopN        = exec.TopN
+	Filter      = exec.Filter
+	Project     = exec.Project
+	Limit       = exec.Limit
+	Values      = exec.Values
+)
+
+// NewTableHandle binds a catalog table for use in scans.
+func NewTableHandle(info *catalog.TableInfo) *TableHandle { return exec.NewTableHandle(info) }
+
+// Request classification surface (Figure 4's request types).
+type (
+	// RequestType is one of sequential / random / temporary / update.
+	RequestType = policy.RequestType
+	// SemanticTag is the semantic information attached to a page request.
+	SemanticTag = policy.Tag
+)
+
+// RequestTypes lists the classes Figure 4 plots.
+func RequestTypes() []RequestType { return policy.RequestTypes() }
+
+// TPC-H workload.
+type (
+	// Dataset is a loaded TPC-H database plus query builders and RF1/RF2.
+	Dataset = tpch.Dataset
+)
+
+// LoadTPCH generates, loads and indexes a TPC-H database at the given
+// scale factor (the paper uses 30 and 10; 0.01-0.1 are laptop-friendly).
+func LoadTPCH(sf float64) (*Dataset, error) { return tpch.Load(sf) }
+
+// PowerOrder returns the power-test query ordering (stream 0).
+func PowerOrder() []int { return tpch.PowerOrder() }
+
+// ThroughputOrders returns the first n throughput-stream permutations.
+func ThroughputOrders(n int) [][]int { return tpch.ThroughputOrders(n) }
+
+// Experiments: regenerate the paper's figures and tables.
+type (
+	ExperimentConfig = experiments.Config
+	ExperimentEnv    = experiments.Env
+)
+
+// DefaultExperimentConfig returns the sizing used by the test suite.
+func DefaultExperimentConfig() ExperimentConfig { return experiments.DefaultConfig() }
+
+// NewExperimentEnv loads a dataset sized per the configuration.
+func NewExperimentEnv(cfg ExperimentConfig) (*ExperimentEnv, error) {
+	return experiments.NewEnv(cfg)
+}

@@ -1,0 +1,117 @@
+package hstoragedb_test
+
+import (
+	"testing"
+	"time"
+
+	"hstoragedb"
+)
+
+// TestPublicAPIEndToEnd drives the whole stack through the facade: build
+// a custom database, load, index, run a mixed plan, inspect statistics.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	db := hstoragedb.NewDatabase()
+	info, err := db.CreateTable("t", hstoragedb.NewSchema(
+		hstoragedb.Column{Name: "k", Type: hstoragedb.Int64Col},
+		hstoragedb.Column{Name: "v", Type: hstoragedb.Float64Col},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := db.NewInstance(hstoragedb.InstanceConfig{
+		Storage: hstoragedb.StorageConfig{
+			Mode:        hstoragedb.HStorage,
+			CacheBlocks: 512,
+			Policy:      hstoragedb.DefaultPolicySpace(),
+		},
+		BufferPoolPages: 32,
+		CPUPerTuple:     300 * time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := inst.NewLoader("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 5000; i++ {
+		if _, err := l.Add(hstoragedb.Tuple{hstoragedb.Int(i), hstoragedb.Float(float64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.BuildIndex("t_k", "t", "k"); err != nil {
+		t.Fatal(err)
+	}
+	inst.ResetStats()
+	inst.DropBufferPool() // cold start: the query must generate real I/O
+
+	sess := inst.NewSession()
+	res, err := sess.Execute(&hstoragedb.IndexScan{
+		Index: db.Cat.MustIndex("t_k"),
+		Table: hstoragedb.NewTableHandle(info),
+		Lo:    100, Hi: 299,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 200 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("no simulated time")
+	}
+	snap := inst.Sys.Stats()
+	if snap.Hits+snap.Misses == 0 {
+		t.Fatal("no storage traffic recorded")
+	}
+}
+
+// TestPublicTPCH runs one TPC-H query through the facade under every
+// mode constant (including the ARC extension).
+func TestPublicTPCH(t *testing.T) {
+	ds, err := hstoragedb.LoadTPCH(0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes := append(hstoragedb.Modes(), hstoragedb.ARC)
+	for _, mode := range modes {
+		inst, err := ds.DB.NewInstance(hstoragedb.InstanceConfig{
+			Storage:         hstoragedb.StorageConfig{Mode: mode, CacheBlocks: 512},
+			BufferPoolPages: 64,
+			WorkMem:         500,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		sess := inst.NewSession()
+		op, err := ds.Query(6, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, elapsed, err := sess.ExecuteDiscard(op)
+		if err != nil {
+			t.Fatalf("Q6 on %v: %v", mode, err)
+		}
+		if n == 0 || elapsed <= 0 {
+			t.Fatalf("%v: n=%d elapsed=%v", mode, n, elapsed)
+		}
+	}
+	if len(hstoragedb.PowerOrder()) != 22 {
+		t.Fatal("power order")
+	}
+	if len(hstoragedb.RequestTypes()) != 4 {
+		t.Fatal("request types")
+	}
+}
+
+// TestDeviceSpecsExported checks the Table 2 constants at the facade.
+func TestDeviceSpecsExported(t *testing.T) {
+	ssd := hstoragedb.Intel320()
+	hdd := hstoragedb.Cheetah15K()
+	if ssd.SeqReadBps != 270e6 || hdd.SeqReadBps != 150e6 {
+		t.Fatalf("specs: %v %v", ssd.SeqReadBps, hdd.SeqReadBps)
+	}
+}

@@ -1,0 +1,96 @@
+package dss
+
+import (
+	"testing"
+
+	"hstoragedb/internal/device"
+)
+
+func TestDefaultPolicySpace(t *testing.T) {
+	p := DefaultPolicySpace()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("default space invalid: %v", err)
+	}
+	// The paper's configuration: N priorities with t = N-1 (two
+	// non-caching priorities) and b = 10%.
+	if p.T != p.N-1 {
+		t.Fatalf("t = %d, want N-1 = %d", p.T, p.N-1)
+	}
+	if p.WriteBufferFrac != 0.10 {
+		t.Fatalf("b = %v, want 0.10", p.WriteBufferFrac)
+	}
+}
+
+func TestSpecialPriorities(t *testing.T) {
+	p := DefaultPolicySpace()
+	if p.Temporary() != 1 {
+		t.Fatalf("temp priority %v, want 1 (highest)", p.Temporary())
+	}
+	if int(p.Sequential()) != p.N-1 {
+		t.Fatalf("sequential priority %v, want N-1", p.Sequential())
+	}
+	if int(p.Eviction()) != p.N {
+		t.Fatalf("eviction priority %v, want N", p.Eviction())
+	}
+}
+
+func TestNonCaching(t *testing.T) {
+	p := DefaultPolicySpace()
+	if p.NonCaching(p.Temporary()) {
+		t.Error("temp priority must be cacheable")
+	}
+	if p.NonCaching(Class(p.RandLow)) || p.NonCaching(Class(p.RandHigh)) {
+		t.Error("random priorities must be cacheable")
+	}
+	if !p.NonCaching(p.Sequential()) {
+		t.Error("sequential priority must be non-caching")
+	}
+	if !p.NonCaching(p.Eviction()) {
+		t.Error("eviction priority must be non-caching")
+	}
+	if p.NonCaching(ClassWriteBuffer) {
+		t.Error("write buffer wins cache space; it is not non-caching")
+	}
+	if p.NonCaching(ClassNone) {
+		t.Error("ClassNone is not subject to the threshold")
+	}
+}
+
+func TestValidateRejectsBadSpaces(t *testing.T) {
+	cases := []PolicySpace{
+		{N: 1, T: 0, RandLow: 1, RandHigh: 1},                       // too few priorities
+		{N: 8, T: 9, RandLow: 2, RandHigh: 6},                       // t out of range
+		{N: 8, T: 7, WriteBufferFrac: 1.5, RandLow: 2, RandHigh: 6}, // b out of range
+		{N: 8, T: 7, RandLow: 6, RandHigh: 2},                       // inverted range
+		{N: 8, T: 7, RandLow: 2, RandHigh: 7},                       // range crosses threshold
+		{N: 8, T: 7, RandLow: 0, RandHigh: 6},                       // below 1
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid space %+v accepted", i, p)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassNone.String() != "none" {
+		t.Errorf("ClassNone = %q", ClassNone.String())
+	}
+	if ClassWriteBuffer.String() != "write-buffer" {
+		t.Errorf("ClassWriteBuffer = %q", ClassWriteBuffer.String())
+	}
+	if Class(3).String() != "prio3" {
+		t.Errorf("Class(3) = %q", Class(3).String())
+	}
+}
+
+func TestRequestString(t *testing.T) {
+	r := Request{Op: device.Read, LBA: 10, Blocks: 2, Class: Class(3)}
+	if r.String() != "read[10+2 prio3]" {
+		t.Errorf("request renders %q", r.String())
+	}
+	tr := Request{Kind: Trim, LBA: 5, Blocks: 8, Class: Class(8)}
+	if tr.String() != "trim[5+8 prio8]" {
+		t.Errorf("trim renders %q", tr.String())
+	}
+}

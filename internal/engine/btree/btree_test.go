@@ -1,0 +1,277 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hstoragedb/internal/dss"
+	"hstoragedb/internal/engine/bufferpool"
+	"hstoragedb/internal/engine/catalog"
+	"hstoragedb/internal/engine/policy"
+	"hstoragedb/internal/engine/storagemgr"
+	"hstoragedb/internal/hybrid"
+	"hstoragedb/internal/pagestore"
+	"hstoragedb/internal/simclock"
+)
+
+type harness struct {
+	pool *bufferpool.Pool
+	clk  simclock.Clock
+}
+
+func newHarness(t testing.TB) *harness {
+	t.Helper()
+	store := pagestore.NewStore()
+	if err := store.Create(1); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := hybrid.New(hybrid.Config{Mode: hybrid.HStorage, CacheBlocks: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := storagemgr.New(store, sys, policy.NewAssignmentTable(dss.DefaultPolicySpace()))
+	return &harness{pool: bufferpool.New(mgr, 256)}
+}
+
+func rid(i int64) catalog.RID {
+	return catalog.RID{Page: i / 50, Slot: uint16(i % 50)}
+}
+
+func buildTree(t testing.TB, h *harness, n int64) *Tree {
+	entries := make([]Entry, 0, n)
+	for i := int64(0); i < n; i++ {
+		entries = append(entries, Entry{Key: i, RID: rid(i)})
+	}
+	rand.New(rand.NewSource(1)).Shuffle(len(entries), func(i, j int) {
+		entries[i], entries[j] = entries[j], entries[i]
+	})
+	tree, pages, err := Build(&h.clk, h.pool, 1, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pages < 2 {
+		t.Fatalf("tree of %d keys in %d pages", n, pages)
+	}
+	return tree
+}
+
+func TestBuildAndLookup(t *testing.T) {
+	h := newHarness(t)
+	tree := buildTree(t, h, 10000)
+	for _, k := range []int64{0, 1, 4999, 9999} {
+		rids, err := tree.Lookup(&h.clk, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rids) != 1 || rids[0] != rid(k) {
+			t.Fatalf("key %d -> %v", k, rids)
+		}
+	}
+	if rids, _ := tree.Lookup(&h.clk, 123456, 0); len(rids) != 0 {
+		t.Fatalf("phantom key found: %v", rids)
+	}
+	if rids, _ := tree.Lookup(&h.clk, -5, 0); len(rids) != 0 {
+		t.Fatalf("negative key found: %v", rids)
+	}
+}
+
+func TestRangeScan(t *testing.T) {
+	h := newHarness(t)
+	tree := buildTree(t, h, 5000)
+	it, err := tree.Seek(&h.clk, 1000, 1999, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(1000)
+	for {
+		e, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if e.Key != want {
+			t.Fatalf("got key %d, want %d", e.Key, want)
+		}
+		want++
+	}
+	if want != 2000 {
+		t.Fatalf("range ended at %d", want)
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	h := newHarness(t)
+	entries := make([]Entry, 0, 300)
+	for i := int64(0); i < 100; i++ {
+		for d := int64(0); d < 3; d++ {
+			entries = append(entries, Entry{Key: i, RID: rid(i*3 + d)})
+		}
+	}
+	tree, _, err := Build(&h.clk, h.pool, 1, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rids, err := tree.Lookup(&h.clk, 42, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rids) != 3 {
+		t.Fatalf("duplicates: %v", rids)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	h := newHarness(t)
+	tree, _, err := Build(&h.clk, h.pool, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rids, _ := tree.Lookup(&h.clk, 1, 0); len(rids) != 0 {
+		t.Fatal("empty tree found a key")
+	}
+	// Inserting into an empty tree works.
+	if err := tree.Insert(&h.clk, Entry{Key: 7, RID: rid(7)}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if rids, _ := tree.Lookup(&h.clk, 7, 0); len(rids) != 1 {
+		t.Fatal("inserted key not found")
+	}
+}
+
+func TestInsertWithSplits(t *testing.T) {
+	h := newHarness(t)
+	tree, _, err := Build(&h.clk, h.pool, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough inserts to split leaves and grow the root at least once.
+	const n = 3000
+	perm := rand.New(rand.NewSource(2)).Perm(n)
+	for _, k := range perm {
+		if err := tree.Insert(&h.clk, Entry{Key: int64(k), RID: rid(int64(k))}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range []int64{0, 1, n / 2, n - 1} {
+		rids, err := tree.Lookup(&h.clk, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rids) != 1 || rids[0] != rid(k) {
+			t.Fatalf("key %d -> %v", k, rids)
+		}
+	}
+	// Full scan returns everything in order.
+	it, err := tree.Seek(&h.clk, 0, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := int64(-1)
+	count := 0
+	for {
+		e, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if e.Key < prev {
+			t.Fatalf("out of order: %d after %d", e.Key, prev)
+		}
+		prev = e.Key
+		count++
+	}
+	if count != n {
+		t.Fatalf("scan found %d of %d", count, n)
+	}
+}
+
+func TestDeleteKey(t *testing.T) {
+	h := newHarness(t)
+	tree := buildTree(t, h, 1000)
+	removed, err := tree.Delete(&h.clk, 500, 0)
+	if err != nil || removed != 1 {
+		t.Fatalf("delete: %d %v", removed, err)
+	}
+	if rids, _ := tree.Lookup(&h.clk, 500, 0); len(rids) != 0 {
+		t.Fatal("deleted key still found")
+	}
+	// Neighbors untouched.
+	if rids, _ := tree.Lookup(&h.clk, 499, 0); len(rids) != 1 {
+		t.Fatal("neighbor lost")
+	}
+	if removed, _ := tree.Delete(&h.clk, 500, 0); removed != 0 {
+		t.Fatal("double delete removed something")
+	}
+}
+
+func TestDeleteEntry(t *testing.T) {
+	h := newHarness(t)
+	entries := []Entry{
+		{Key: 1, RID: rid(10)},
+		{Key: 1, RID: rid(11)},
+		{Key: 2, RID: rid(20)},
+	}
+	tree, _, err := Build(&h.clk, h.pool, 1, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := tree.DeleteEntry(&h.clk, Entry{Key: 1, RID: rid(10)}, 0)
+	if err != nil || !ok {
+		t.Fatalf("delete entry: %v %v", ok, err)
+	}
+	rids, _ := tree.Lookup(&h.clk, 1, 0)
+	if len(rids) != 1 || rids[0] != rid(11) {
+		t.Fatalf("wrong survivor: %v", rids)
+	}
+	ok, _ = tree.DeleteEntry(&h.clk, Entry{Key: 9, RID: rid(9)}, 0)
+	if ok {
+		t.Fatal("phantom delete succeeded")
+	}
+}
+
+// Property: the tree agrees with a sorted reference on random workloads.
+func TestTreeMatchesReference(t *testing.T) {
+	f := func(keysRaw []int16) bool {
+		h := newHarness(t)
+		tree, _, err := Build(&h.clk, h.pool, 1, nil)
+		if err != nil {
+			return false
+		}
+		ref := map[int64]int{}
+		for i, kr := range keysRaw {
+			k := int64(kr)
+			if err := tree.Insert(&h.clk, Entry{Key: k, RID: rid(int64(i))}, 0); err != nil {
+				return false
+			}
+			ref[k]++
+		}
+		keys := make([]int64, 0, len(ref))
+		for k := range ref {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			rids, err := tree.Lookup(&h.clk, k, 0)
+			if err != nil || len(rids) != ref[k] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFanoutConstants(t *testing.T) {
+	if LeafCap < 400 || InternalCap < 400 {
+		t.Fatalf("suspicious fan-outs: leaf=%d internal=%d", LeafCap, InternalCap)
+	}
+}

@@ -1,0 +1,188 @@
+package btree
+
+import (
+	"sort"
+
+	"hstoragedb/internal/simclock"
+)
+
+// Insert adds (key, rid) to the tree, splitting nodes as needed. Index
+// maintenance during RF1 runs with the updating query's plan level.
+func (t *Tree) Insert(clk *simclock.Clock, e Entry, level int) error {
+	root, pages, err := t.readMeta(clk, level)
+	if err != nil {
+		return err
+	}
+
+	newChild, sepKey, newPages, err := t.insertInto(clk, root, e, level, pages)
+	if err != nil {
+		return err
+	}
+	pages = newPages
+	if newChild >= 0 {
+		// Root split: grow the tree by one level.
+		n := &internalNode{children: []int64{root, newChild}, keys: []int64{sepKey}}
+		newRoot := pages
+		pages++
+		if err := t.pool.Put(clk, t.tag(level), newRoot, encodeInternal(n)); err != nil {
+			return err
+		}
+		root = newRoot
+	}
+	return t.writeMeta(clk, root, pages)
+}
+
+// insertInto inserts into the subtree rooted at page. On split it returns
+// the new right sibling's page number and separator key; otherwise the
+// returned page is -1. It threads the tree's page count through for new
+// allocations.
+func (t *Tree) insertInto(clk *simclock.Clock, page int64, e Entry, level int, pages int64) (int64, int64, int64, error) {
+	leaf, internal, err := t.readNode(clk, page, level)
+	if err != nil {
+		return -1, 0, pages, err
+	}
+
+	if leaf != nil {
+		idx := sort.Search(len(leaf.entries), func(i int) bool {
+			le := leaf.entries[i]
+			if le.Key != e.Key {
+				return le.Key > e.Key
+			}
+			if le.RID.Page != e.RID.Page {
+				return le.RID.Page > e.RID.Page
+			}
+			return le.RID.Slot >= e.RID.Slot
+		})
+		leaf.entries = append(leaf.entries, Entry{})
+		copy(leaf.entries[idx+1:], leaf.entries[idx:])
+		leaf.entries[idx] = e
+
+		if len(leaf.entries) <= LeafCap {
+			return -1, 0, pages, t.pool.Put(clk, t.tag(level), page, encodeLeaf(leaf))
+		}
+		// Split the leaf.
+		mid := len(leaf.entries) / 2
+		right := &leafNode{next: leaf.next, entries: append([]Entry(nil), leaf.entries[mid:]...)}
+		rightPage := pages
+		pages++
+		leaf.entries = leaf.entries[:mid]
+		leaf.next = rightPage
+		if err := t.pool.Put(clk, t.tag(level), rightPage, encodeLeaf(right)); err != nil {
+			return -1, 0, pages, err
+		}
+		if err := t.pool.Put(clk, t.tag(level), page, encodeLeaf(leaf)); err != nil {
+			return -1, 0, pages, err
+		}
+		return rightPage, right.entries[0].Key, pages, nil
+	}
+
+	idx := sort.Search(len(internal.keys), func(i int) bool { return internal.keys[i] > e.Key })
+	newChild, sepKey, newPages, err := t.insertInto(clk, internal.children[idx], e, level, pages)
+	pages = newPages
+	if err != nil || newChild < 0 {
+		return -1, 0, pages, err
+	}
+
+	// Child split: install the separator.
+	internal.keys = append(internal.keys, 0)
+	copy(internal.keys[idx+1:], internal.keys[idx:])
+	internal.keys[idx] = sepKey
+	internal.children = append(internal.children, 0)
+	copy(internal.children[idx+2:], internal.children[idx+1:])
+	internal.children[idx+1] = newChild
+
+	if len(internal.keys) <= InternalCap {
+		return -1, 0, pages, t.pool.Put(clk, t.tag(level), page, encodeInternal(internal))
+	}
+	// Split the internal node; the middle key moves up.
+	mid := len(internal.keys) / 2
+	upKey := internal.keys[mid]
+	right := &internalNode{
+		keys:     append([]int64(nil), internal.keys[mid+1:]...),
+		children: append([]int64(nil), internal.children[mid+1:]...),
+	}
+	internal.keys = internal.keys[:mid]
+	internal.children = internal.children[:mid+1]
+	rightPage := pages
+	pages++
+	if err := t.pool.Put(clk, t.tag(level), rightPage, encodeInternal(right)); err != nil {
+		return -1, 0, pages, err
+	}
+	if err := t.pool.Put(clk, t.tag(level), page, encodeInternal(internal)); err != nil {
+		return -1, 0, pages, err
+	}
+	return rightPage, upKey, pages, nil
+}
+
+// DeleteEntry removes the single entry (key, rid), returning whether it
+// was found. Used by RF2 to maintain secondary indexes whose keys are
+// shared by many rows.
+func (t *Tree) DeleteEntry(clk *simclock.Clock, e Entry, level int) (bool, error) {
+	page, err := t.descend(clk, e.Key, level)
+	if err != nil {
+		return false, err
+	}
+	for page >= 0 {
+		leaf, _, err := t.readNode(clk, page, level)
+		if err != nil {
+			return false, err
+		}
+		past := false
+		for i, le := range leaf.entries {
+			if le.Key == e.Key && le.RID == e.RID {
+				leaf.entries = append(leaf.entries[:i], leaf.entries[i+1:]...)
+				return true, t.pool.Put(clk, t.tag(level), page, encodeLeaf(leaf))
+			}
+			if le.Key > e.Key {
+				past = true
+				break
+			}
+		}
+		if past || leaf.next < 0 {
+			return false, nil
+		}
+		page = leaf.next
+	}
+	return false, nil
+}
+
+// Delete removes every entry with the given key (lazy deletion: leaves may
+// underflow; no rebalancing). It returns the number of entries removed.
+func (t *Tree) Delete(clk *simclock.Clock, key int64, level int) (int, error) {
+	page, err := t.descend(clk, key, level)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for page >= 0 {
+		leaf, _, err := t.readNode(clk, page, level)
+		if err != nil {
+			return removed, err
+		}
+		kept := leaf.entries[:0]
+		before := len(leaf.entries)
+		past := false
+		for _, e := range leaf.entries {
+			if e.Key == key {
+				continue
+			}
+			if e.Key > key {
+				past = true
+			}
+			kept = append(kept, e)
+		}
+		leaf.entries = kept
+		if len(kept) != before {
+			removed += before - len(kept)
+			if err := t.pool.Put(clk, t.tag(level), page, encodeLeaf(leaf)); err != nil {
+				return removed, err
+			}
+		}
+		if past || leaf.next < 0 {
+			break
+		}
+		// Duplicates may spill into the next leaf.
+		page = leaf.next
+	}
+	return removed, nil
+}

@@ -1,0 +1,250 @@
+// Package bufferpool implements the DBMS buffer pool of the hStorage-DB
+// prototype. As in the paper's augmented PostgreSQL, every fetch carries
+// the semantic information collected from the query plan (a policy.Tag),
+// which the pool hands through to the storage manager on misses and on
+// dirty write-back, instead of stripping it away.
+//
+// The pool is a write-back LRU cache of pages shared by all concurrently
+// running queries.
+package bufferpool
+
+import (
+	"sync"
+
+	"hstoragedb/internal/engine/policy"
+	"hstoragedb/internal/engine/storagemgr"
+	"hstoragedb/internal/pagestore"
+	"hstoragedb/internal/simclock"
+)
+
+// key identifies one buffered page.
+type key struct {
+	obj  pagestore.ObjectID
+	page int64
+}
+
+// entry is one buffer pool frame.
+type entry struct {
+	key     key
+	data    []byte
+	dirty   bool
+	content policy.ContentType // needed to classify the write-back
+
+	prev, next *entry
+}
+
+// Stats are cumulative buffer pool counters.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	WriteBack int64
+}
+
+// Pool is the buffer pool. All methods are safe for concurrent use.
+type Pool struct {
+	mgr *storagemgr.Manager
+	cap int
+
+	mu    sync.Mutex
+	table map[key]*entry
+	head  entry // sentinel of the LRU list, head.next = MRU
+	stats Stats
+}
+
+// New creates a pool with capacity `frames` pages over the given storage
+// manager.
+func New(mgr *storagemgr.Manager, frames int) *Pool {
+	if frames < 1 {
+		frames = 1
+	}
+	p := &Pool{mgr: mgr, cap: frames, table: make(map[key]*entry, frames)}
+	p.head.prev = &p.head
+	p.head.next = &p.head
+	return p
+}
+
+// Manager exposes the storage manager beneath the pool.
+func (p *Pool) Manager() *storagemgr.Manager { return p.mgr }
+
+func (p *Pool) pushFront(e *entry) {
+	e.prev = &p.head
+	e.next = p.head.next
+	p.head.next.prev = e
+	p.head.next = e
+}
+
+func (p *Pool) unlink(e *entry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+func (p *Pool) touch(e *entry) {
+	p.unlink(e)
+	p.pushFront(e)
+}
+
+// evictOne writes back the LRU page if dirty and frees its frame. Caller
+// holds p.mu; the mutex is released around the I/O.
+func (p *Pool) evictOne(clk *simclock.Clock) error {
+	lru := p.head.prev
+	if lru == &p.head {
+		return nil
+	}
+	p.unlink(lru)
+	delete(p.table, lru.key)
+	p.stats.Evictions++
+	if !lru.dirty {
+		return nil
+	}
+	p.stats.WriteBack++
+	tag := policy.Tag{Object: lru.key.obj, Content: lru.content}
+	data := lru.data
+	pageNo := lru.key.page
+	p.mu.Unlock()
+	// Dirty pages are flushed by the background writer: the flush
+	// occupies the storage system but the query does not wait for it.
+	err := p.mgr.WritePageBackground(clk, tag, pageNo, data)
+	p.mu.Lock()
+	return err
+}
+
+// Get returns the content of (tag.Object, page), fetching it through the
+// storage manager on a miss. The returned slice is the pool's frame:
+// callers must not retain it across other pool calls, and must use Put to
+// modify pages.
+func (p *Pool) Get(clk *simclock.Clock, tag policy.Tag, page int64) ([]byte, error) {
+	k := key{obj: tag.Object, page: page}
+	p.mu.Lock()
+	if e, ok := p.table[k]; ok {
+		p.touch(e)
+		p.stats.Hits++
+		data := e.data
+		p.mu.Unlock()
+		return data, nil
+	}
+	p.stats.Misses++
+	for len(p.table) >= p.cap {
+		if err := p.evictOne(clk); err != nil {
+			p.mu.Unlock()
+			return nil, err
+		}
+	}
+	p.mu.Unlock()
+
+	data, err := p.mgr.ReadPage(clk, tag, page)
+	if err != nil {
+		return nil, err
+	}
+
+	p.mu.Lock()
+	if e, ok := p.table[k]; ok {
+		// A concurrent query loaded the page while we were reading.
+		p.touch(e)
+		data = e.data
+		p.mu.Unlock()
+		return data, nil
+	}
+	e := &entry{key: k, data: data, content: tag.Content}
+	p.table[k] = e
+	p.pushFront(e)
+	p.mu.Unlock()
+	return data, nil
+}
+
+// Put stores new content for (tag.Object, page) and marks the frame
+// dirty. The data is installed by reference; the pool owns it afterwards.
+func (p *Pool) Put(clk *simclock.Clock, tag policy.Tag, page int64, data []byte) error {
+	k := key{obj: tag.Object, page: page}
+	p.mu.Lock()
+	if e, ok := p.table[k]; ok {
+		e.data = data
+		e.dirty = true
+		e.content = tag.Content
+		p.touch(e)
+		p.mu.Unlock()
+		return nil
+	}
+	for len(p.table) >= p.cap {
+		if err := p.evictOne(clk); err != nil {
+			p.mu.Unlock()
+			return err
+		}
+	}
+	e := &entry{key: k, data: data, dirty: true, content: tag.Content}
+	p.table[k] = e
+	p.pushFront(e)
+	p.mu.Unlock()
+	return nil
+}
+
+// FlushAll writes back every dirty frame (end-of-stream checkpoint).
+func (p *Pool) FlushAll(clk *simclock.Clock) error {
+	p.mu.Lock()
+	dirty := make([]*entry, 0)
+	for _, e := range p.table {
+		if e.dirty {
+			dirty = append(dirty, e)
+		}
+	}
+	p.mu.Unlock()
+	for _, e := range dirty {
+		tag := policy.Tag{Object: e.key.obj, Content: e.content}
+		if err := p.mgr.WritePage(clk, tag, e.key.page, e.data); err != nil {
+			return err
+		}
+		p.mu.Lock()
+		e.dirty = false
+		p.stats.WriteBack++
+		p.mu.Unlock()
+	}
+	return nil
+}
+
+// Invalidate drops every frame of an object without write-back. Used when
+// a temporary file is deleted: its dirty pages are useless by definition.
+func (p *Pool) Invalidate(obj pagestore.ObjectID) {
+	p.mu.Lock()
+	for k, e := range p.table {
+		if k.obj == obj {
+			p.unlink(e)
+			delete(p.table, k)
+		}
+	}
+	p.mu.Unlock()
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ResetStats clears the counters.
+func (p *Pool) ResetStats() {
+	p.mu.Lock()
+	p.stats = Stats{}
+	p.mu.Unlock()
+}
+
+// Len reports the number of resident pages.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.table)
+}
+
+// Capacity reports the pool size in frames.
+func (p *Pool) Capacity() int { return p.cap }
+
+// DropAll empties the pool without write-back. Tests use it to force cold
+// caches between runs.
+func (p *Pool) DropAll() {
+	p.mu.Lock()
+	p.table = make(map[key]*entry, p.cap)
+	p.head.prev = &p.head
+	p.head.next = &p.head
+	p.mu.Unlock()
+}

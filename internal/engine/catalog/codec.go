@@ -1,0 +1,67 @@
+package catalog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// EncodeTuple appends the binary encoding of t (per schema s) to dst and
+// returns the extended slice. Layout: fixed 8-byte little-endian words for
+// Int64/Date/Float64 columns; uvarint length + bytes for String columns.
+func EncodeTuple(dst []byte, s Schema, t Tuple) ([]byte, error) {
+	if len(t) != len(s.Cols) {
+		return nil, fmt.Errorf("catalog: tuple arity %d != schema arity %d", len(t), len(s.Cols))
+	}
+	var w [8]byte
+	for i, c := range s.Cols {
+		switch c.Type {
+		case Int64, Date:
+			binary.LittleEndian.PutUint64(w[:], uint64(t[i].I))
+			dst = append(dst, w[:]...)
+		case Float64:
+			binary.LittleEndian.PutUint64(w[:], math.Float64bits(t[i].F))
+			dst = append(dst, w[:]...)
+		case String:
+			dst = binary.AppendUvarint(dst, uint64(len(t[i].S)))
+			dst = append(dst, t[i].S...)
+		default:
+			return nil, fmt.Errorf("catalog: unknown column type %v", c.Type)
+		}
+	}
+	return dst, nil
+}
+
+// DecodeTuple parses one tuple of schema s from src, returning the tuple
+// and the number of bytes consumed.
+func DecodeTuple(src []byte, s Schema) (Tuple, int, error) {
+	t := make(Tuple, len(s.Cols))
+	off := 0
+	for i, c := range s.Cols {
+		switch c.Type {
+		case Int64, Date:
+			if off+8 > len(src) {
+				return nil, 0, fmt.Errorf("catalog: truncated int column %q", c.Name)
+			}
+			t[i].I = int64(binary.LittleEndian.Uint64(src[off:]))
+			off += 8
+		case Float64:
+			if off+8 > len(src) {
+				return nil, 0, fmt.Errorf("catalog: truncated float column %q", c.Name)
+			}
+			t[i].F = math.Float64frombits(binary.LittleEndian.Uint64(src[off:]))
+			off += 8
+		case String:
+			n, w := binary.Uvarint(src[off:])
+			if w <= 0 || off+w+int(n) > len(src) {
+				return nil, 0, fmt.Errorf("catalog: truncated string column %q", c.Name)
+			}
+			off += w
+			t[i].S = string(src[off : off+int(n)])
+			off += int(n)
+		default:
+			return nil, 0, fmt.Errorf("catalog: unknown column type %v", c.Type)
+		}
+	}
+	return t, off, nil
+}

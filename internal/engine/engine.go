@@ -1,0 +1,287 @@
+// Package engine assembles the DBMS prototype: a persistent Database
+// (catalog + page store, playing the role of the on-disk database files)
+// and disposable Instances (buffer pool + classification-enabled storage
+// manager + a hybrid storage system in one of the four evaluation modes).
+// The same loaded Database can be attached to a fresh Instance per
+// experiment run, exactly like re-running a query against a different
+// storage configuration in the paper.
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"hstoragedb/internal/dss"
+	"hstoragedb/internal/engine/btree"
+	"hstoragedb/internal/engine/bufferpool"
+	"hstoragedb/internal/engine/catalog"
+	"hstoragedb/internal/engine/exec"
+	"hstoragedb/internal/engine/heap"
+	"hstoragedb/internal/engine/policy"
+	"hstoragedb/internal/engine/storagemgr"
+	"hstoragedb/internal/hybrid"
+	"hstoragedb/internal/pagestore"
+	"hstoragedb/internal/simclock"
+)
+
+// Database is the persistent half: schemas plus page contents. It knows
+// nothing about devices or caches.
+type Database struct {
+	Cat   *catalog.Catalog
+	Store *pagestore.Store
+}
+
+// InstanceConfig configures one attached engine instance.
+type InstanceConfig struct {
+	// Storage selects and sizes the storage system under test.
+	Storage hybrid.Config
+	// BufferPoolPages is the DBMS buffer pool size in pages.
+	BufferPoolPages int
+	// WorkMem is the per-blocking-operator memory budget in tuples.
+	WorkMem int
+	// CPUPerTuple is the simulated per-tuple processing cost.
+	CPUPerTuple time.Duration
+	// DisableRule5 turns off the concurrency registry lookup (ablation).
+	DisableRule5 bool
+	// DisableTrim suppresses TRIM on temp-file deletion (ablation: the
+	// legacy file-system behaviour of Section 4.2.3).
+	DisableTrim bool
+}
+
+// DefaultInstanceConfig returns a laptop-scale configuration: hStorage
+// mode, a small buffer pool, and spill-prone work memory.
+func DefaultInstanceConfig() InstanceConfig {
+	return InstanceConfig{
+		Storage:         hybrid.Config{Mode: hybrid.HStorage, CacheBlocks: 4096},
+		BufferPoolPages: 512,
+		WorkMem:         4096,
+		CPUPerTuple:     300 * time.Nanosecond,
+	}
+}
+
+// Instance is a running engine over a Database: one storage system, one
+// buffer pool, one policy table.
+type Instance struct {
+	DB   *Database
+	Sys  hybrid.System
+	Mgr  *storagemgr.Manager
+	Pool *bufferpool.Pool
+	cfg  InstanceConfig
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase() *Database {
+	return &Database{Cat: catalog.New(), Store: pagestore.NewStore()}
+}
+
+// NewInstance attaches an engine instance to the database.
+func (db *Database) NewInstance(cfg InstanceConfig) (*Instance, error) {
+	if cfg.BufferPoolPages <= 0 {
+		cfg.BufferPoolPages = 512
+	}
+	if cfg.WorkMem <= 0 {
+		cfg.WorkMem = 4096
+	}
+	sys, err := hybrid.New(cfg.Storage)
+	if err != nil {
+		return nil, err
+	}
+	space := cfg.Storage.Policy
+	if space.N == 0 {
+		space = dss.DefaultPolicySpace()
+	}
+	table := policy.NewAssignmentTable(space)
+	table.DisableRule5 = cfg.DisableRule5
+	mgr := storagemgr.New(db.Store, sys, table)
+	mgr.DisableTrim = cfg.DisableTrim
+	pool := bufferpool.New(mgr, cfg.BufferPoolPages)
+	return &Instance{DB: db, Sys: sys, Mgr: mgr, Pool: pool, cfg: cfg}, nil
+}
+
+// Config returns the instance configuration.
+func (inst *Instance) Config() InstanceConfig { return inst.cfg }
+
+// Session is one query stream: a logical clock plus an execution context
+// factory. Concurrent sessions share the instance (and therefore queue on
+// its devices) but advance independent clocks.
+type Session struct {
+	inst *Instance
+	Clk  simclock.Clock
+}
+
+// NewSession starts a stream at virtual time zero.
+func (inst *Instance) NewSession() *Session {
+	return &Session{inst: inst}
+}
+
+// Instance returns the engine instance this session runs on.
+func (s *Session) Instance() *Instance { return s.inst }
+
+// Pool returns the instance's buffer pool.
+func (s *Session) Pool() *bufferpool.Pool { return s.inst.Pool }
+
+// Ctx builds an execution context on this session's clock.
+func (s *Session) Ctx() *exec.Ctx {
+	return &exec.Ctx{
+		Clk:         &s.Clk,
+		Pool:        s.inst.Pool,
+		Cat:         s.inst.DB.Cat,
+		Mgr:         s.inst.Mgr,
+		CPUPerTuple: s.inst.cfg.CPUPerTuple,
+		WorkMem:     s.inst.cfg.WorkMem,
+	}
+}
+
+// Result summarizes one query execution.
+type Result struct {
+	Rows    []catalog.Tuple
+	Elapsed time.Duration
+}
+
+// Execute runs a plan to completion on this session: levels are assigned
+// (Section 4.2.2), the query's random-access footprint is registered with
+// the shared registry for Rule 5, the iterator tree is drained, and the
+// footprint is withdrawn. Elapsed is simulated time.
+func (s *Session) Execute(root exec.Operator) (Result, error) {
+	exec.AssignLevels(root)
+	info := exec.ExtractQueryInfo(root)
+	reg := s.inst.Mgr.Registry()
+	reg.Register(info)
+	defer reg.Unregister(info)
+
+	start := s.Clk.Now()
+	ctx := s.Ctx()
+	rows, err := exec.Run(ctx, root)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Rows: rows, Elapsed: s.Clk.Now() - start}, nil
+}
+
+// ExecuteDiscard runs a plan but drops its output, returning the row
+// count and elapsed simulated time.
+func (s *Session) ExecuteDiscard(root exec.Operator) (int64, time.Duration, error) {
+	exec.AssignLevels(root)
+	info := exec.ExtractQueryInfo(root)
+	reg := s.inst.Mgr.Registry()
+	reg.Register(info)
+	defer reg.Unregister(info)
+
+	start := s.Clk.Now()
+	ctx := s.Ctx()
+	n, err := exec.Drain(ctx, root)
+	if err != nil {
+		return n, 0, err
+	}
+	return n, s.Clk.Now() - start, nil
+}
+
+// ---- schema & loading ----
+
+// CreateTable registers a table and its backing heap object.
+func (db *Database) CreateTable(name string, schema catalog.Schema) (*catalog.TableInfo, error) {
+	info, err := db.Cat.AddTable(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.Store.Create(info.ID); err != nil {
+		return nil, err
+	}
+	return info, nil
+}
+
+// Loader bulk-appends tuples into a table through an instance (normally a
+// scratch HDD-only instance whose statistics are discarded after loading).
+type Loader struct {
+	inst *Instance
+	sess *Session
+	tbl  *catalog.TableInfo
+	app  *heap.Appender
+}
+
+// NewLoader starts a bulk load into an existing (possibly non-empty)
+// table.
+func (inst *Instance) NewLoader(table string) (*Loader, error) {
+	info, err := inst.DB.Cat.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	sess := inst.NewSession()
+	file := heap.NewFile(info.ID, info.Schema, policy.Table)
+	app := file.NewAppender(&sess.Clk, inst.Pool, inst.DB.Store.Pages(info.ID))
+	return &Loader{inst: inst, sess: sess, tbl: info, app: app}, nil
+}
+
+// Add appends one tuple and returns its RID.
+func (l *Loader) Add(t catalog.Tuple) (catalog.RID, error) { return l.app.Append(t) }
+
+// Close flushes the load and updates the catalog row count.
+func (l *Loader) Close() error {
+	if err := l.app.Close(); err != nil {
+		return err
+	}
+	l.inst.DB.Cat.SetRows(l.tbl.Name, l.tbl.Rows+l.app.Rows())
+	return l.inst.Pool.FlushAll(&l.sess.Clk)
+}
+
+// BuildIndex creates and bulk-builds an index over an Int64/Date column.
+func (inst *Instance) BuildIndex(name, table, column string) (*catalog.IndexInfo, error) {
+	info, err := inst.DB.Cat.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	col := info.Schema.Col(column)
+	if col < 0 {
+		return nil, fmt.Errorf("engine: table %q has no column %q", table, column)
+	}
+	switch info.Schema.Cols[col].Type {
+	case catalog.Int64, catalog.Date:
+	default:
+		return nil, fmt.Errorf("engine: index column %q must be int-like", column)
+	}
+	ix, err := inst.DB.Cat.AddIndex(name, table, col)
+	if err != nil {
+		return nil, err
+	}
+	if err := inst.DB.Store.Create(ix.ID); err != nil {
+		return nil, err
+	}
+
+	sess := inst.NewSession()
+	file := heap.NewFile(info.ID, info.Schema, policy.Table)
+	sc := file.NewScanner(&sess.Clk, inst.Pool, inst.DB.Store.Pages(info.ID))
+	var entries []btree.Entry
+	for {
+		t, rid, ok, err := sc.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		entries = append(entries, btree.Entry{Key: t[col].I, RID: rid})
+	}
+	if _, _, err := btree.Build(&sess.Clk, inst.Pool, ix.ID, entries); err != nil {
+		return nil, err
+	}
+	return ix, inst.Pool.FlushAll(&sess.Clk)
+}
+
+// ResetStats clears every counter on the instance (storage system,
+// devices, buffer pool, request-type table) without touching cache or
+// buffer contents. Experiments call it between the warmup and the
+// measured run.
+func (inst *Instance) ResetStats() {
+	inst.Sys.ResetStats()
+	inst.Mgr.ResetTypeStats()
+	inst.Pool.ResetStats()
+	if d := inst.Sys.SSD(); d != nil {
+		d.Reset()
+	}
+	if d := inst.Sys.HDD(); d != nil {
+		d.Reset()
+	}
+}
+
+// DropBufferPool empties the buffer pool without write-back (cold start).
+func (inst *Instance) DropBufferPool() { inst.Pool.DropAll() }

@@ -1,0 +1,183 @@
+package exec
+
+import (
+	"testing"
+
+	"hstoragedb/internal/dss"
+	"hstoragedb/internal/engine/catalog"
+	"hstoragedb/internal/engine/policy"
+	"hstoragedb/internal/pagestore"
+)
+
+// testOp is a synthetic plan node for level-computation tests.
+type testOp struct {
+	base
+	name     string
+	children []Operator
+	blocking bool
+	access   *AccessInfo
+}
+
+func (o *testOp) Children() []Operator { return o.children }
+func (o *testOp) Blocking() bool       { return o.blocking }
+func (o *testOp) Access() (AccessInfo, bool) {
+	if o.access == nil {
+		return AccessInfo{}, false
+	}
+	return *o.access, true
+}
+func (o *testOp) Open(*Ctx) error                        { return nil }
+func (o *testOp) Next(*Ctx) (catalog.Tuple, bool, error) { return nil, false, nil }
+func (o *testOp) Close(*Ctx) error                       { return nil }
+
+func leaf(name string, obj pagestore.ObjectID, random bool) *testOp {
+	return &testOp{name: name, access: &AccessInfo{Objects: []pagestore.ObjectID{obj}, Random: random}}
+}
+
+func node(name string, children ...Operator) *testOp {
+	return &testOp{name: name, children: children}
+}
+
+func blockingNode(name string, children ...Operator) *testOp {
+	return &testOp{name: name, children: children, blocking: true}
+}
+
+// TestFigure2Levels reproduces the worked example of Figure 2: a 6-level
+// plan tree where the blocking hash at Level 4 causes the two operators
+// at Levels 4 and 5 (its sibling index scan on t.c and the root) to be
+// recalculated to Levels 0 and 1, while the deep operators keep their
+// levels. The resulting priorities with range [2,5] are: t.a -> 2,
+// t.b -> 4, t.c -> 2.
+func TestFigure2Levels(t *testing.T) {
+	const (
+		ta pagestore.ObjectID = 1
+		tb pagestore.ObjectID = 2
+		tc pagestore.ObjectID = 3
+	)
+	taLo := leaf("ixscan t.a (deep)", ta, true)
+	taHi := leaf("ixscan t.a (upper)", ta, true)
+	tbSeq := leaf("seqscan t.b", tb, false)
+	tbRand := leaf("ixscan t.b", tb, true)
+	tcScan := leaf("ixscan t.c", tc, true)
+
+	nl0 := node("nl0", tbSeq, taLo)
+	nl1 := node("nl1", nl0, taHi)
+	nl2 := node("nl2", nl1, tbRand)
+	hash := blockingNode("hash", nl2)
+	root := node("hashjoin-root", hash, tcScan)
+
+	levels := AssignLevels(root)
+	if levels != 6 {
+		t.Fatalf("tree has %d levels, want 6", levels)
+	}
+
+	check := func(op *testOp, want int) {
+		t.Helper()
+		if op.Level() != want {
+			t.Errorf("%s at level %d, want %d", op.name, op.Level(), want)
+		}
+	}
+	check(taLo, 0)
+	check(tbSeq, 0)
+	check(taHi, 1)
+	check(tbRand, 2)
+	check(hash, 4)
+	// Blocking recalculation: sibling and root as if hash were Level 0.
+	check(tcScan, 0)
+	check(root, 1)
+
+	info := ExtractQueryInfo(root)
+	if !info.HasRandom {
+		t.Fatal("no random footprint extracted")
+	}
+	if info.LLow != 0 || info.LHigh != 2 {
+		t.Fatalf("bounds (%d,%d), want (0,2)", info.LLow, info.LHigh)
+	}
+
+	// Priorities per the paper's example, range [2,5].
+	space := dss.PolicySpace{N: 8, T: 7, RandLow: 2, RandHigh: 5, WriteBufferFrac: 0.1}
+	minLevel := func(obj pagestore.ObjectID) int {
+		lvls := info.Levels[obj]
+		if len(lvls) == 0 {
+			t.Fatalf("object %d not in footprint", obj)
+		}
+		min := lvls[0]
+		for _, l := range lvls {
+			if l < min {
+				min = l
+			}
+		}
+		return min
+	}
+	if got := policy.RandomPriority(space, minLevel(ta), info.LLow, info.LHigh); got != 2 {
+		t.Errorf("t.a priority %v, want 2", got)
+	}
+	if got := policy.RandomPriority(space, minLevel(tb), info.LLow, info.LHigh); got != 4 {
+		t.Errorf("t.b priority %v, want 4", got)
+	}
+	if got := policy.RandomPriority(space, minLevel(tc), info.LLow, info.LHigh); got != 2 {
+		t.Errorf("t.c priority %v, want 2", got)
+	}
+	// The sequential scan of t.b contributes nothing to the random
+	// footprint (Rule 1 applies to it regardless of level).
+	for _, l := range info.Levels[tb] {
+		if l == 0 {
+			t.Error("sequential scan leaked into the random footprint")
+		}
+	}
+}
+
+func TestLevelsLinearChain(t *testing.T) {
+	l := leaf("scan", 1, false)
+	mid := node("filter", l)
+	root := node("agg", mid)
+	if got := AssignLevels(root); got != 3 {
+		t.Fatalf("levels %d", got)
+	}
+	if l.Level() != 0 || mid.Level() != 1 || root.Level() != 2 {
+		t.Fatalf("levels %d/%d/%d", l.Level(), mid.Level(), root.Level())
+	}
+}
+
+func TestBlockingAtLevelZeroNoop(t *testing.T) {
+	l := leaf("scan", 1, true)
+	b := blockingNode("sort", l) // sort at level 1, scan at 0
+	root := node("limit", b)
+	AssignLevels(root)
+	// The blocking sort at level 1 pulls the root (level 2) down by 1.
+	if root.Level() != 1 {
+		t.Fatalf("root level %d, want 1", root.Level())
+	}
+	if l.Level() != 0 {
+		t.Fatalf("scan level %d, want 0", l.Level())
+	}
+}
+
+func TestUnbalancedTreeDeepestLeafIsZero(t *testing.T) {
+	deep := leaf("deep", 1, true)
+	chain := node("a", node("b", node("c", deep)))
+	shallow := leaf("shallow", 2, true)
+	root := node("join", chain, shallow)
+	AssignLevels(root)
+	if deep.Level() != 0 {
+		t.Fatalf("deepest leaf level %d", deep.Level())
+	}
+	if shallow.Level() != 3 {
+		t.Fatalf("shallow leaf level %d, want 3", shallow.Level())
+	}
+	info := ExtractQueryInfo(root)
+	if info.LLow != 0 || info.LHigh != 3 {
+		t.Fatalf("bounds (%d,%d)", info.LLow, info.LHigh)
+	}
+}
+
+func TestQueryInfoMergesDuplicateObjects(t *testing.T) {
+	a := leaf("scan1", 5, true)
+	b := leaf("scan2", 5, true)
+	root := node("join", node("x", a), b)
+	AssignLevels(root)
+	info := ExtractQueryInfo(root)
+	if len(info.Levels[5]) != 2 {
+		t.Fatalf("object 5 has %d level entries, want 2", len(info.Levels[5]))
+	}
+}

@@ -1,0 +1,229 @@
+package exec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"hstoragedb/internal/engine/catalog"
+	"hstoragedb/internal/engine/policy"
+	"hstoragedb/internal/pagestore"
+)
+
+// TempFile is a schema-less paged record file holding spilled tuples.
+// Its lifetime follows Section 4.2.3: a generation phase (one write
+// stream), a consumption phase (read streams), then deletion, at which
+// point the storage manager TRIMs its blocks so the cache can evict them
+// immediately.
+type TempFile struct {
+	ID    pagestore.ObjectID
+	pages int64
+	rows  int64
+
+	buf     []byte
+	count   uint16
+	deleted bool
+}
+
+// CreateTemp allocates a new temporary file registered with the page
+// store and tracked by the context.
+func (c *Ctx) CreateTemp() (*TempFile, error) {
+	id := c.Cat.NewTempID()
+	if err := c.Mgr.Store().Create(id); err != nil {
+		return nil, err
+	}
+	tf := &TempFile{ID: id}
+	c.temps = append(c.temps, tf)
+	return tf, nil
+}
+
+// ReclaimTemps deletes any temporary files still alive (normally
+// operators delete their own temps at the end of consumption; this is the
+// backstop that the "end of query" cleanup provides in PostgreSQL).
+func (c *Ctx) ReclaimTemps() {
+	for _, tf := range c.temps {
+		if !tf.deleted {
+			_ = c.DropTemp(tf)
+		}
+	}
+	c.temps = c.temps[:0]
+}
+
+// DropTemp deletes a temporary file: buffered pages are invalidated (no
+// write-back — the data is dead) and the freed extents are TRIMmed with
+// the "non-caching and eviction" policy.
+func (c *Ctx) DropTemp(tf *TempFile) error {
+	if tf.deleted {
+		return nil
+	}
+	tf.deleted = true
+	c.Pool.Invalidate(tf.ID)
+	return c.Mgr.DeleteObject(c.Clk, tf.ID)
+}
+
+const tempHeader = 2
+
+// tempTag is the semantic tag for temp-file I/O: Rule 3 traffic.
+func tempTag(id pagestore.ObjectID) policy.Tag {
+	return policy.Tag{Object: id, Content: policy.Temp, Pattern: policy.Sequential}
+}
+
+// encodeDatum appends a schema-less encoding of one datum: all three
+// fields, so spilled tuples round-trip without schema information.
+func encodeDatum(dst []byte, d catalog.Datum) []byte {
+	dst = binary.AppendVarint(dst, d.I)
+	var w [8]byte
+	binary.LittleEndian.PutUint64(w[:], math.Float64bits(d.F))
+	dst = append(dst, w[:]...)
+	dst = binary.AppendUvarint(dst, uint64(len(d.S)))
+	dst = append(dst, d.S...)
+	return dst
+}
+
+func decodeDatum(src []byte) (catalog.Datum, int, error) {
+	var d catalog.Datum
+	i, n := binary.Varint(src)
+	if n <= 0 {
+		return d, 0, fmt.Errorf("exec: corrupt temp datum (int)")
+	}
+	d.I = i
+	off := n
+	if off+8 > len(src) {
+		return d, 0, fmt.Errorf("exec: corrupt temp datum (float)")
+	}
+	d.F = math.Float64frombits(binary.LittleEndian.Uint64(src[off:]))
+	off += 8
+	sl, n2 := binary.Uvarint(src[off:])
+	if n2 <= 0 || off+n2+int(sl) > len(src) {
+		return d, 0, fmt.Errorf("exec: corrupt temp datum (string)")
+	}
+	off += n2
+	if sl > 0 {
+		d.S = string(src[off : off+int(sl)])
+		off += int(sl)
+	}
+	return d, off, nil
+}
+
+func encodeRecord(dst []byte, t catalog.Tuple) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(t)))
+	for _, d := range t {
+		dst = encodeDatum(dst, d)
+	}
+	return dst
+}
+
+func decodeRecord(src []byte) (catalog.Tuple, int, error) {
+	n, w := binary.Uvarint(src)
+	if w <= 0 {
+		return nil, 0, fmt.Errorf("exec: corrupt temp record header")
+	}
+	off := w
+	t := make(catalog.Tuple, n)
+	for i := range t {
+		d, dn, err := decodeDatum(src[off:])
+		if err != nil {
+			return nil, 0, err
+		}
+		t[i] = d
+		off += dn
+	}
+	return t, off, nil
+}
+
+// Append adds one tuple to the temp file (generation phase).
+func (tf *TempFile) Append(c *Ctx, t catalog.Tuple) error {
+	if tf.deleted {
+		return fmt.Errorf("exec: append to deleted temp file %d", tf.ID)
+	}
+	if tf.buf == nil {
+		tf.buf = make([]byte, tempHeader, pagestore.PageSize)
+	}
+	rec := encodeRecord(nil, t)
+	need := 2 + len(rec)
+	if need > pagestore.PageSize-tempHeader {
+		return fmt.Errorf("exec: temp record of %d bytes exceeds page", len(rec))
+	}
+	if len(tf.buf)+need > pagestore.PageSize {
+		if err := tf.flush(c); err != nil {
+			return err
+		}
+	}
+	var l [2]byte
+	binary.LittleEndian.PutUint16(l[:], uint16(len(rec)))
+	tf.buf = append(tf.buf, l[:]...)
+	tf.buf = append(tf.buf, rec...)
+	tf.count++
+	tf.rows++
+	return nil
+}
+
+func (tf *TempFile) flush(c *Ctx) error {
+	binary.LittleEndian.PutUint16(tf.buf[:2], tf.count)
+	if err := c.Pool.Put(c.Clk, tempTag(tf.ID), tf.pages, tf.buf); err != nil {
+		return err
+	}
+	tf.pages++
+	tf.buf = make([]byte, tempHeader, pagestore.PageSize)
+	tf.count = 0
+	return nil
+}
+
+// Finish flushes the trailing partial page, ending the generation phase.
+func (tf *TempFile) Finish(c *Ctx) error {
+	if tf.buf != nil && tf.count > 0 {
+		return tf.flush(c)
+	}
+	return nil
+}
+
+// Rows reports the number of tuples appended.
+func (tf *TempFile) Rows() int64 { return tf.rows }
+
+// Pages reports the number of full pages written so far.
+func (tf *TempFile) Pages() int64 { return tf.pages }
+
+// TempReader iterates a temp file (consumption phase).
+type TempReader struct {
+	tf   *TempFile
+	page int64
+
+	tuples []catalog.Tuple
+	idx    int
+}
+
+// NewReader starts a consumption pass over the file.
+func (tf *TempFile) NewReader() *TempReader {
+	return &TempReader{tf: tf}
+}
+
+// Next returns the next spilled tuple.
+func (r *TempReader) Next(c *Ctx) (catalog.Tuple, bool, error) {
+	for r.idx >= len(r.tuples) {
+		if r.page >= r.tf.pages {
+			return nil, false, nil
+		}
+		data, err := c.Pool.Get(c.Clk, tempTag(r.tf.ID), r.page)
+		if err != nil {
+			return nil, false, err
+		}
+		n := binary.LittleEndian.Uint16(data[:2])
+		r.tuples = r.tuples[:0]
+		off := tempHeader
+		for i := 0; i < int(n); i++ {
+			l := int(binary.LittleEndian.Uint16(data[off:]))
+			off += 2
+			t, _, err := decodeRecord(data[off : off+l])
+			if err != nil {
+				return nil, false, err
+			}
+			r.tuples = append(r.tuples, t)
+			off += l
+		}
+		r.page++
+		r.idx = 0
+	}
+	t := r.tuples[r.idx]
+	r.idx++
+	return t, true, nil
+}

@@ -1,0 +1,164 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"hstoragedb/internal/dss"
+	"hstoragedb/internal/engine/bufferpool"
+	"hstoragedb/internal/engine/catalog"
+	"hstoragedb/internal/engine/policy"
+	"hstoragedb/internal/engine/storagemgr"
+	"hstoragedb/internal/hybrid"
+	"hstoragedb/internal/pagestore"
+	"hstoragedb/internal/simclock"
+)
+
+// tempCtx builds a minimal execution context for temp-file tests.
+func tempCtx(t testing.TB, bpPages int) *Ctx {
+	t.Helper()
+	store := pagestore.NewStore()
+	sys, err := hybrid.New(hybrid.Config{Mode: hybrid.HStorage, CacheBlocks: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := storagemgr.New(store, sys, policy.NewAssignmentTable(dss.DefaultPolicySpace()))
+	return &Ctx{
+		Clk:  &simclock.Clock{},
+		Pool: bufferpool.New(mgr, bpPages),
+		Cat:  catalog.New(),
+		Mgr:  mgr,
+	}
+}
+
+func TestTempFileRoundTrip(t *testing.T) {
+	ctx := tempCtx(t, 4)
+	tf, err := ctx.CreateTemp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	for i := 0; i < n; i++ {
+		tup := catalog.Tuple{
+			catalog.IntDatum(int64(i)),
+			catalog.FloatDatum(float64(i) / 7),
+			catalog.StringDatum(fmt.Sprintf("row-%d", i)),
+		}
+		if err := tf.Append(ctx, tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tf.Finish(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if tf.Rows() != n {
+		t.Fatalf("rows %d", tf.Rows())
+	}
+	if tf.Pages() < 2 {
+		t.Fatalf("pages %d, expected a multi-page spill", tf.Pages())
+	}
+
+	r := tf.NewReader()
+	for i := 0; i < n; i++ {
+		tup, ok, err := r.Next(ctx)
+		if err != nil || !ok {
+			t.Fatalf("row %d: ok=%v err=%v", i, ok, err)
+		}
+		if tup[0].I != int64(i) || tup[2].S != fmt.Sprintf("row-%d", i) {
+			t.Fatalf("row %d corrupted: %v", i, tup)
+		}
+	}
+	if _, ok, _ := r.Next(ctx); ok {
+		t.Fatal("reader returned rows past the end")
+	}
+	if err := ctx.DropTemp(tf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTempFileSecondReaderIndependent(t *testing.T) {
+	ctx := tempCtx(t, 8)
+	tf, _ := ctx.CreateTemp()
+	for i := 0; i < 100; i++ {
+		_ = tf.Append(ctx, catalog.Tuple{catalog.IntDatum(int64(i))})
+	}
+	_ = tf.Finish(ctx)
+	r1, r2 := tf.NewReader(), tf.NewReader()
+	a, _, _ := r1.Next(ctx)
+	b, _, _ := r2.Next(ctx)
+	if a[0].I != b[0].I {
+		t.Fatal("readers disagree on the first row")
+	}
+}
+
+func TestDropTempIdempotentAndAppendAfterDeleteFails(t *testing.T) {
+	ctx := tempCtx(t, 4)
+	tf, _ := ctx.CreateTemp()
+	_ = tf.Append(ctx, catalog.Tuple{catalog.IntDatum(1)})
+	_ = tf.Finish(ctx)
+	if err := ctx.DropTemp(tf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.DropTemp(tf); err != nil {
+		t.Fatalf("second drop errored: %v", err)
+	}
+	if err := tf.Append(ctx, catalog.Tuple{catalog.IntDatum(2)}); err == nil {
+		t.Fatal("append to deleted temp accepted")
+	}
+}
+
+func TestReclaimTempsBackstop(t *testing.T) {
+	ctx := tempCtx(t, 4)
+	for i := 0; i < 3; i++ {
+		tf, _ := ctx.CreateTemp()
+		_ = tf.Append(ctx, catalog.Tuple{catalog.IntDatum(int64(i))})
+		_ = tf.Finish(ctx)
+	}
+	ctx.ReclaimTemps()
+	for _, id := range ctx.Mgr.Store().Objects() {
+		if catalog.IsTemp(id) {
+			t.Fatalf("temp %d survived ReclaimTemps", id)
+		}
+	}
+}
+
+// Property: the schema-less datum codec round-trips arbitrary values.
+func TestSchemalessCodecProperty(t *testing.T) {
+	f := func(i int64, fl float64, s string) bool {
+		if fl != fl { // NaN
+			fl = 0
+		}
+		in := catalog.Tuple{{I: i, F: fl, S: s}, {I: -i}, {S: s + s}}
+		enc := encodeRecord(nil, in)
+		out, n, err := decodeRecord(enc)
+		if err != nil || n != len(enc) || len(out) != len(in) {
+			return false
+		}
+		for k := range in {
+			if in[k] != out[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChargeTuples(t *testing.T) {
+	ctx := tempCtx(t, 4)
+	ctx.CPUPerTuple = 100
+	ctx.ChargeTuples(10)
+	if ctx.Clk.Now() != 1000 {
+		t.Fatalf("clock %v", ctx.Clk.Now())
+	}
+	if ctx.Tuples != 10 {
+		t.Fatalf("tuples %d", ctx.Tuples)
+	}
+	ctx.ChargeTuples(-5)
+	if ctx.Tuples != 10 {
+		t.Fatal("negative charge counted")
+	}
+}

@@ -1,0 +1,306 @@
+// Package heap implements slotted heap files: the on-disk representation
+// of regular tables and of temporary files. Pages are fetched through the
+// buffer pool with the semantic tag of the requesting operator, so a
+// sequential scan produces Rule 1 traffic and an RID fetch from an index
+// scan produces Rule 2 traffic.
+//
+// Page layout: [uint16 tupleCount] then, per tuple, [uint16 length]
+// followed by the tuple encoding (catalog.EncodeTuple).
+package heap
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hstoragedb/internal/engine/bufferpool"
+	"hstoragedb/internal/engine/catalog"
+	"hstoragedb/internal/engine/policy"
+	"hstoragedb/internal/pagestore"
+	"hstoragedb/internal/simclock"
+)
+
+const pageHeader = 2
+
+// tombstone marks a deleted slot: the slot keeps its position (so RIDs of
+// later slots remain valid) but carries no payload.
+const tombstone = 0xFFFF
+
+// File is a heap file bound to an object ID and schema.
+type File struct {
+	Object pagestore.ObjectID
+	Schema catalog.Schema
+	// Content distinguishes regular tables from temporary data; it rides
+	// on every page tag.
+	Content policy.ContentType
+}
+
+// NewFile describes an existing (or about-to-be-created) heap file.
+func NewFile(obj pagestore.ObjectID, schema catalog.Schema, content policy.ContentType) *File {
+	return &File{Object: obj, Schema: schema, Content: content}
+}
+
+// Appender buffers tuples into pages and writes full pages through the
+// buffer pool. Writes carry the file's content type, so appends to
+// temporary files classify as temp requests and appends to tables as
+// updates.
+type Appender struct {
+	f    *File
+	pool *bufferpool.Pool
+	clk  *simclock.Clock
+
+	page    int64
+	buf     []byte
+	count   uint16
+	started bool
+	rows    int64
+}
+
+// NewAppender starts appending at page `startPage` (pass the table's
+// current page count to extend it, or 0 for a fresh file).
+func (f *File) NewAppender(clk *simclock.Clock, pool *bufferpool.Pool, startPage int64) *Appender {
+	return &Appender{f: f, pool: pool, clk: clk, page: startPage}
+}
+
+func (a *Appender) reset() {
+	a.buf = make([]byte, pageHeader, pagestore.PageSize)
+	a.count = 0
+	a.started = true
+}
+
+// Append adds one tuple and returns its RID.
+func (a *Appender) Append(t catalog.Tuple) (catalog.RID, error) {
+	if !a.started {
+		a.reset()
+	}
+	enc, err := catalog.EncodeTuple(nil, a.f.Schema, t)
+	if err != nil {
+		return catalog.RID{}, err
+	}
+	need := 2 + len(enc)
+	if need > pagestore.PageSize-pageHeader {
+		return catalog.RID{}, fmt.Errorf("heap: tuple of %d bytes exceeds page", len(enc))
+	}
+	if len(a.buf)+need > pagestore.PageSize {
+		if err := a.flushPage(); err != nil {
+			return catalog.RID{}, err
+		}
+	}
+	rid := catalog.RID{Page: a.page, Slot: a.count}
+	var l [2]byte
+	binary.LittleEndian.PutUint16(l[:], uint16(len(enc)))
+	a.buf = append(a.buf, l[:]...)
+	a.buf = append(a.buf, enc...)
+	a.count++
+	a.rows++
+	return rid, nil
+}
+
+// flushPage writes the current page through the buffer pool.
+func (a *Appender) flushPage() error {
+	binary.LittleEndian.PutUint16(a.buf[:2], a.count)
+	tag := policy.Tag{Object: a.f.Object, Content: a.f.Content}
+	if err := a.pool.Put(a.clk, tag, a.page, a.buf); err != nil {
+		return err
+	}
+	a.page++
+	a.reset()
+	return nil
+}
+
+// Close flushes the final partial page. Rows reports how many tuples were
+// appended; Pages how many pages the file now spans.
+func (a *Appender) Close() error {
+	if a.started && a.count > 0 {
+		return a.flushPage()
+	}
+	return nil
+}
+
+// Rows returns the number of tuples appended so far.
+func (a *Appender) Rows() int64 { return a.rows }
+
+// Pages returns the page count after Close.
+func (a *Appender) Pages() int64 {
+	if a.started && a.count > 0 {
+		return a.page + 1
+	}
+	return a.page
+}
+
+// decodePage parses all tuples of a page.
+func decodePage(data []byte, schema catalog.Schema) ([]catalog.Tuple, error) {
+	if len(data) < pageHeader {
+		return nil, fmt.Errorf("heap: short page")
+	}
+	n := binary.LittleEndian.Uint16(data[:2])
+	out := make([]catalog.Tuple, 0, n)
+	off := pageHeader
+	for i := 0; i < int(n); i++ {
+		if off+2 > len(data) {
+			return nil, fmt.Errorf("heap: truncated tuple header at slot %d", i)
+		}
+		l := int(binary.LittleEndian.Uint16(data[off:]))
+		off += 2
+		if l == tombstone {
+			out = append(out, nil) // deleted slot keeps its position
+			continue
+		}
+		if off+l > len(data) {
+			return nil, fmt.Errorf("heap: truncated tuple at slot %d", i)
+		}
+		t, _, err := catalog.DecodeTuple(data[off:off+l], schema)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		off += l
+	}
+	return out, nil
+}
+
+// rewritePage re-encodes decoded tuples (nil = tombstone) into page bytes.
+func rewritePage(tuples []catalog.Tuple, schema catalog.Schema) ([]byte, error) {
+	buf := make([]byte, pageHeader, pagestore.PageSize)
+	binary.LittleEndian.PutUint16(buf[:2], uint16(len(tuples)))
+	var l [2]byte
+	for _, t := range tuples {
+		if t == nil {
+			binary.LittleEndian.PutUint16(l[:], tombstone)
+			buf = append(buf, l[:]...)
+			continue
+		}
+		enc, err := catalog.EncodeTuple(nil, schema, t)
+		if err != nil {
+			return nil, err
+		}
+		binary.LittleEndian.PutUint16(l[:], uint16(len(enc)))
+		buf = append(buf, l[:]...)
+		buf = append(buf, enc...)
+	}
+	if len(buf) > pagestore.PageSize {
+		return nil, fmt.Errorf("heap: rewritten page overflows (%d bytes)", len(buf))
+	}
+	return buf, nil
+}
+
+// Scanner iterates a heap file page by page with a sequential tag.
+type Scanner struct {
+	f     *File
+	pool  *bufferpool.Pool
+	clk   *simclock.Clock
+	pages int64
+
+	page   int64
+	tuples []catalog.Tuple
+	idx    int
+}
+
+// NewScanner creates a full-file sequential scanner over `pages` pages.
+func (f *File) NewScanner(clk *simclock.Clock, pool *bufferpool.Pool, pages int64) *Scanner {
+	return &Scanner{f: f, pool: pool, clk: clk, pages: pages}
+}
+
+// Next returns the next tuple with its RID; ok=false at end of file.
+func (s *Scanner) Next() (catalog.Tuple, catalog.RID, bool, error) {
+	for s.idx >= len(s.tuples) {
+		if s.page >= s.pages {
+			return nil, catalog.RID{}, false, nil
+		}
+		tag := policy.Tag{Object: s.f.Object, Content: s.f.Content, Pattern: policy.Sequential}
+		data, err := s.pool.Get(s.clk, tag, s.page)
+		if err != nil {
+			return nil, catalog.RID{}, false, err
+		}
+		s.tuples, err = decodePage(data, s.f.Schema)
+		if err != nil {
+			return nil, catalog.RID{}, false, err
+		}
+		s.page++
+		s.idx = 0
+	}
+	t := s.tuples[s.idx]
+	rid := catalog.RID{Page: s.page - 1, Slot: uint16(s.idx)}
+	s.idx++
+	if t == nil {
+		// Deleted slot; keep scanning.
+		return s.Next()
+	}
+	return t, rid, true, nil
+}
+
+// Fetch retrieves the tuple at rid with a random-access tag carrying the
+// issuing operator's plan level.
+func (f *File) Fetch(clk *simclock.Clock, pool *bufferpool.Pool, rid catalog.RID, level int) (catalog.Tuple, error) {
+	tag := policy.Tag{Object: f.Object, Content: f.Content, Pattern: policy.Random, Level: level}
+	data, err := pool.Get(clk, tag, rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	tuples, err := decodePage(data, f.Schema)
+	if err != nil {
+		return nil, err
+	}
+	if int(rid.Slot) >= len(tuples) {
+		return nil, fmt.Errorf("heap: rid %v slot out of range (%d tuples)", rid, len(tuples))
+	}
+	// A nil tuple is a tombstone (row deleted, e.g. by a concurrent RF2);
+	// callers treat it as "no longer visible" and skip.
+	return tuples[rid.Slot], nil
+}
+
+// Update rewrites the tuple at rid in place. The page write classifies as
+// an update (Rule 4). The rewritten page must still fit; fixed-width
+// updates (numeric columns) always do.
+func (f *File) Update(clk *simclock.Clock, pool *bufferpool.Pool, rid catalog.RID, t catalog.Tuple, level int) error {
+	tag := policy.Tag{Object: f.Object, Content: f.Content, Pattern: policy.Random, Level: level}
+	data, err := pool.Get(clk, tag, rid.Page)
+	if err != nil {
+		return err
+	}
+	tuples, err := decodePage(data, f.Schema)
+	if err != nil {
+		return err
+	}
+	if int(rid.Slot) >= len(tuples) {
+		return fmt.Errorf("heap: rid %v slot out of range (%d tuples)", rid, len(tuples))
+	}
+	if tuples[rid.Slot] == nil {
+		return fmt.Errorf("heap: rid %v updates a deleted tuple", rid)
+	}
+	tuples[rid.Slot] = t
+	page, err := rewritePage(tuples, f.Schema)
+	if err != nil {
+		return err
+	}
+	writeTag := tag
+	writeTag.Update = true
+	return pool.Put(clk, writeTag, rid.Page, page)
+}
+
+// Delete tombstones the tuple at rid. The page write classifies as an
+// update (Rule 4). It returns false if the slot was already deleted.
+func (f *File) Delete(clk *simclock.Clock, pool *bufferpool.Pool, rid catalog.RID, level int) (bool, error) {
+	tag := policy.Tag{Object: f.Object, Content: f.Content, Pattern: policy.Random, Level: level}
+	data, err := pool.Get(clk, tag, rid.Page)
+	if err != nil {
+		return false, err
+	}
+	tuples, err := decodePage(data, f.Schema)
+	if err != nil {
+		return false, err
+	}
+	if int(rid.Slot) >= len(tuples) {
+		return false, fmt.Errorf("heap: rid %v slot out of range (%d tuples)", rid, len(tuples))
+	}
+	if tuples[rid.Slot] == nil {
+		return false, nil
+	}
+	tuples[rid.Slot] = nil
+	page, err := rewritePage(tuples, f.Schema)
+	if err != nil {
+		return false, err
+	}
+	writeTag := tag
+	writeTag.Update = true
+	return true, pool.Put(clk, writeTag, rid.Page, page)
+}

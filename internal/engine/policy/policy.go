@@ -1,0 +1,209 @@
+// Package policy implements Section 4 of the paper: the classification of
+// DBMS I/O requests and the five rules that map each request type to a QoS
+// policy (caching priority), including Function (1) for random requests
+// and the shared-memory registry used under concurrency (Rule 5).
+package policy
+
+import (
+	"fmt"
+
+	"hstoragedb/internal/dss"
+	"hstoragedb/internal/pagestore"
+)
+
+// ContentType is the semantic content category of an accessed object
+// (Section 4.1).
+type ContentType int
+
+const (
+	// Table is a regular user table.
+	Table ContentType = iota
+	// Index is an index structure.
+	Index
+	// Temp is temporary data generated during query execution.
+	Temp
+)
+
+// String implements fmt.Stringer.
+func (c ContentType) String() string {
+	switch c {
+	case Table:
+		return "table"
+	case Index:
+		return "index"
+	case Temp:
+		return "temp"
+	}
+	return fmt.Sprintf("content(%d)", int(c))
+}
+
+// Pattern is the access pattern the query optimizer determined for a
+// request.
+type Pattern int
+
+const (
+	// Sequential marks requests from sequential scans.
+	Sequential Pattern = iota
+	// Random marks requests from index scans (both the index pages and
+	// the table pages they fetch).
+	Random
+)
+
+// String implements fmt.Stringer.
+func (p Pattern) String() string {
+	if p == Sequential {
+		return "sequential"
+	}
+	return "random"
+}
+
+// RequestType is the classification of Section 4.1: (1) sequential,
+// (2) random, (3) temporary data, (4) update.
+type RequestType int
+
+const (
+	SequentialRequest RequestType = iota
+	RandomRequest
+	TempRequest
+	UpdateRequest
+)
+
+// String implements fmt.Stringer.
+func (t RequestType) String() string {
+	switch t {
+	case SequentialRequest:
+		return "sequential"
+	case RandomRequest:
+		return "random"
+	case TempRequest:
+		return "temporary"
+	case UpdateRequest:
+		return "update"
+	}
+	return fmt.Sprintf("reqtype(%d)", int(t))
+}
+
+// RequestTypes lists the classes Figure 4 plots.
+func RequestTypes() []RequestType {
+	return []RequestType{SequentialRequest, RandomRequest, TempRequest, UpdateRequest}
+}
+
+// Tag is the semantic information the buffer pool passes along with each
+// page request — the information a conventional storage manager strips
+// away.
+type Tag struct {
+	Object  pagestore.ObjectID
+	Content ContentType
+	Pattern Pattern
+	// Level is the query-plan level of the issuing operator (after
+	// blocking-operator recalculation, Section 4.2.2). Meaningful only
+	// for Random pattern.
+	Level int
+	// Update marks data-modification requests (Rule 4).
+	Update bool
+}
+
+// Type derives the request type of Section 4.1 from a tag.
+func (t Tag) Type() RequestType {
+	switch {
+	case t.Content == Temp:
+		return TempRequest
+	case t.Update:
+		return UpdateRequest
+	case t.Pattern == Random:
+		return RandomRequest
+	default:
+		return SequentialRequest
+	}
+}
+
+// RandomPriority implements Function (1): the priority of a random request
+// issued by an operator at Level i, given the lowest and highest levels of
+// random-access operators (llow, lhigh) and the available priority range
+// [n1, n2] of the policy space.
+func RandomPriority(space dss.PolicySpace, i, llow, lhigh int) dss.Class {
+	n1, n2 := space.RandLow, space.RandHigh
+	cprio := n2 - n1
+	lgap := lhigh - llow
+	switch {
+	case cprio == 0:
+		return dss.Class(n1)
+	case lgap == 0:
+		return dss.Class(n1)
+	case i <= llow:
+		return dss.Class(n1)
+	case cprio >= lgap:
+		p := n1 + i - llow
+		if p > n2 {
+			p = n2
+		}
+		return dss.Class(p)
+	default:
+		// Not enough priorities for every level: spread by relative
+		// location, letting neighboring levels share a priority.
+		p := n1 + cprio*(i-llow)/lgap
+		if p > n2 {
+			p = n2
+		}
+		return dss.Class(p)
+	}
+}
+
+// AssignmentTable is the storage manager extension of Figure 1: it turns a
+// request's semantic tag into the QoS policy delivered with the request.
+// It consults the concurrency registry so Rule 5 applies whenever multiple
+// queries run (with a single query registered it degenerates to Rule 2).
+type AssignmentTable struct {
+	Space    dss.PolicySpace
+	Registry *Registry
+
+	// DisableRule5, when set, computes random priorities from the tag's
+	// own level and the registering query's bounds only — the
+	// "non-deterministic priority assignment" the paper warns about.
+	// Used by the ablation benchmarks.
+	DisableRule5 bool
+}
+
+// NewAssignmentTable builds an assignment table over a fresh registry.
+func NewAssignmentTable(space dss.PolicySpace) *AssignmentTable {
+	return &AssignmentTable{Space: space, Registry: NewRegistry()}
+}
+
+// Classify maps a tagged request to its caching priority:
+//
+//	Rule 1: sequential            -> N-1 (non-caching, non-eviction)
+//	Rule 2: random (single query) -> Function (1) over plan levels
+//	Rule 3: temporary data        -> 1 (highest)
+//	Rule 4: update                -> write buffer
+//	Rule 5: random (concurrent)   -> per-object highest priority from the
+//	                                 global registry
+func (a *AssignmentTable) Classify(tag Tag) dss.Class {
+	switch tag.Type() {
+	case TempRequest:
+		return a.Space.Temporary()
+	case UpdateRequest:
+		return dss.ClassWriteBuffer
+	case SequentialRequest:
+		return a.Space.Sequential()
+	case RandomRequest:
+		level := tag.Level
+		gllow, glhigh := level, level
+		if a.Registry != nil && !a.DisableRule5 {
+			if min, ok := a.Registry.MinLevel(tag.Object); ok {
+				// Rule 5.2: among concurrent queries the object gets the
+				// highest of all independently determined priorities,
+				// i.e. the one from the lowest operator level.
+				level = min
+			}
+			gllow, glhigh = a.Registry.Bounds()
+		} else if a.Registry != nil {
+			gllow, glhigh = a.Registry.Bounds()
+		}
+		return RandomPriority(a.Space, level, gllow, glhigh)
+	}
+	return dss.ClassNone
+}
+
+// TrimClass returns the policy attached to temporary-data deletion (Rule
+// 3): "non-caching and eviction".
+func (a *AssignmentTable) TrimClass() dss.Class { return a.Space.Eviction() }

@@ -1,0 +1,162 @@
+package policy
+
+import (
+	"sync"
+
+	"hstoragedb/internal/pagestore"
+)
+
+// QueryInfo is the random-access footprint a query contributes to the
+// global registry when it starts (Section 4.3): for every object it will
+// access randomly, the plan-tree levels of the accessing operators, plus
+// the query's own llow / lhigh bounds.
+type QueryInfo struct {
+	// Levels maps each randomly accessed object to the levels of its
+	// accessing operators (one entry per operator).
+	Levels map[pagestore.ObjectID][]int
+	// LLow and LHigh are the lowest and highest levels over all random
+	// access operators of the query plan.
+	LLow, LHigh int
+	// HasRandom reports whether the plan contains random operators at
+	// all; queries without them contribute nothing to the bounds.
+	HasRandom bool
+}
+
+// levelCount is one element of the per-object list H<oid, list>: count
+// operators at level `level` are currently accessing the object.
+type levelCount struct {
+	level int
+	count int
+}
+
+// Registry is the shared-memory structure of Section 4.3: a hash table
+// H<oid, list> plus the global bounds gl_low and gl_high, updated upon the
+// start and end of each query. It is the mechanism behind Rule 5.
+type Registry struct {
+	mu      sync.Mutex
+	objects map[pagestore.ObjectID][]levelCount
+	llows   map[int]int // multiset of per-query llow values
+	lhighs  map[int]int // multiset of per-query lhigh values
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		objects: make(map[pagestore.ObjectID][]levelCount),
+		llows:   make(map[int]int),
+		lhighs:  make(map[int]int),
+	}
+}
+
+// Register records a starting query's footprint.
+func (r *Registry) Register(q QueryInfo) {
+	if !q.HasRandom {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for oid, levels := range q.Levels {
+		for _, lv := range levels {
+			r.bump(oid, lv, 1)
+		}
+	}
+	r.llows[q.LLow]++
+	r.lhighs[q.LHigh]++
+}
+
+// Unregister removes a finished query's footprint.
+func (r *Registry) Unregister(q QueryInfo) {
+	if !q.HasRandom {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for oid, levels := range q.Levels {
+		for _, lv := range levels {
+			r.bump(oid, lv, -1)
+		}
+	}
+	if r.llows[q.LLow]--; r.llows[q.LLow] <= 0 {
+		delete(r.llows, q.LLow)
+	}
+	if r.lhighs[q.LHigh]--; r.lhighs[q.LHigh] <= 0 {
+		delete(r.lhighs, q.LHigh)
+	}
+}
+
+// bump adjusts the <level, count> entry for oid. Caller holds r.mu.
+func (r *Registry) bump(oid pagestore.ObjectID, level, delta int) {
+	list := r.objects[oid]
+	for i := range list {
+		if list[i].level == level {
+			list[i].count += delta
+			if list[i].count <= 0 {
+				list = append(list[:i], list[i+1:]...)
+			}
+			if len(list) == 0 {
+				delete(r.objects, oid)
+			} else {
+				r.objects[oid] = list
+			}
+			return
+		}
+	}
+	if delta > 0 {
+		r.objects[oid] = append(list, levelCount{level: level, count: delta})
+	}
+}
+
+// MinLevel returns the lowest plan level at which any running query's
+// operator randomly accesses oid. The second result is false when no
+// query currently touches the object.
+func (r *Registry) MinLevel(oid pagestore.ObjectID) (int, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	list := r.objects[oid]
+	if len(list) == 0 {
+		return 0, false
+	}
+	min := list[0].level
+	for _, lc := range list[1:] {
+		if lc.level < min {
+			min = lc.level
+		}
+	}
+	return min, true
+}
+
+// Bounds returns (gl_low, gl_high): the minimum of all registered llow
+// values and the maximum of all lhigh values. With no registered queries
+// it returns (0, 0).
+func (r *Registry) Bounds() (int, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	gllow, glhigh := 0, 0
+	first := true
+	for lv := range r.llows {
+		if first || lv < gllow {
+			gllow = lv
+		}
+		first = false
+	}
+	first = true
+	for lv := range r.lhighs {
+		if first || lv > glhigh {
+			glhigh = lv
+		}
+		first = false
+	}
+	return gllow, glhigh
+}
+
+// ActiveQueries reports how many registered queries contribute to the
+// bounds (by llow multiset cardinality).
+func (r *Registry) ActiveQueries() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, c := range r.llows {
+		n += c
+	}
+	return n
+}

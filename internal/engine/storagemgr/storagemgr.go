@@ -1,0 +1,231 @@
+// Package storagemgr implements hStorage-DB's restructured storage
+// manager (Figure 1): the layer that translates a DBMS page request into
+// a block I/O request. Where a conventional storage manager strips all
+// semantic information, this one consults the policy assignment table,
+// embeds the resulting QoS policy into the request, and delivers it to
+// the storage system through the DSS block interface.
+//
+// The manager also keeps the per-request-type counters behind Figure 4
+// (diversity of request types) and issues TRIM commands when temporary
+// objects are deleted (Rule 3).
+package storagemgr
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hstoragedb/internal/device"
+	"hstoragedb/internal/dss"
+	"hstoragedb/internal/engine/policy"
+	"hstoragedb/internal/hybrid"
+	"hstoragedb/internal/pagestore"
+	"hstoragedb/internal/simclock"
+)
+
+// TypeStats counts traffic for one request type (Figure 4 plots the
+// request-percentage and block-percentage of each).
+type TypeStats struct {
+	Requests int64
+	Blocks   int64
+}
+
+// Manager is the classification-enabled storage manager.
+type Manager struct {
+	store   *pagestore.Store
+	storage hybrid.System
+	table   *policy.AssignmentTable
+
+	// DisableTrim suppresses TRIM commands on object deletion — the
+	// legacy-filesystem behaviour of Section 4.2.3, used by the TRIM
+	// ablation benchmark.
+	DisableTrim bool
+
+	mu    sync.Mutex
+	types map[policy.RequestType]*TypeStats
+}
+
+// New builds a manager over a page store and a storage system.
+func New(store *pagestore.Store, storage hybrid.System, table *policy.AssignmentTable) *Manager {
+	return &Manager{
+		store:   store,
+		storage: storage,
+		table:   table,
+		types:   make(map[policy.RequestType]*TypeStats),
+	}
+}
+
+// Store exposes the underlying page store.
+func (m *Manager) Store() *pagestore.Store { return m.store }
+
+// Storage exposes the storage system under management.
+func (m *Manager) Storage() hybrid.System { return m.storage }
+
+// Table exposes the policy assignment table.
+func (m *Manager) Table() *policy.AssignmentTable { return m.table }
+
+// Registry exposes the Rule 5 concurrency registry.
+func (m *Manager) Registry() *policy.Registry { return m.table.Registry }
+
+func (m *Manager) count(t policy.RequestType, blocks int) {
+	m.mu.Lock()
+	ts := m.types[t]
+	if ts == nil {
+		ts = &TypeStats{}
+		m.types[t] = ts
+	}
+	ts.Requests++
+	ts.Blocks += int64(blocks)
+	m.mu.Unlock()
+}
+
+// ReadPage reads one page, classifying the request per the assignment
+// table, charging the simulated I/O time to clk, and returning the page
+// content.
+func (m *Manager) ReadPage(clk *simclock.Clock, tag policy.Tag, page int64) ([]byte, error) {
+	data, lba, err := m.store.ReadPage(tag.Object, page)
+	if err != nil {
+		return nil, err
+	}
+	readTag := tag
+	readTag.Update = false // reads are never Rule 4 updates
+	class := m.table.Classify(readTag)
+	done := m.storage.Submit(clk.Now(), dss.Request{
+		Op:     device.Read,
+		LBA:    lba,
+		Blocks: 1,
+		Class:  class,
+	})
+	clk.AdvanceTo(done)
+	m.count(readTag.Type(), 1)
+	return data, nil
+}
+
+// WritePage writes one page synchronously: the caller's clock advances to
+// the write's completion. Temporary-data writes carry the temp priority
+// (Rule 3); all other writes are updates and carry the write buffer
+// policy (Rule 4).
+func (m *Manager) WritePage(clk *simclock.Clock, tag policy.Tag, page int64, data []byte) error {
+	_, err := m.writePage(clk, tag, page, data, false)
+	return err
+}
+
+// WritePageBackground writes one page without blocking the caller: the
+// write occupies the storage system (later requests queue behind it) but
+// the caller's clock does not advance. This models write-back by the
+// background writer / OS-buffered temporary files: the DBMS never waits
+// for a dirty-page flush on its critical path.
+func (m *Manager) WritePageBackground(clk *simclock.Clock, tag policy.Tag, page int64, data []byte) error {
+	_, err := m.writePage(clk, tag, page, data, true)
+	return err
+}
+
+func (m *Manager) writePage(clk *simclock.Clock, tag policy.Tag, page int64, data []byte, background bool) (simclock.Duration, error) {
+	lba, err := m.store.WritePage(tag.Object, page, data)
+	if err != nil {
+		return 0, err
+	}
+	writeTag := tag
+	if writeTag.Content != policy.Temp {
+		writeTag.Update = true
+	}
+	class := m.table.Classify(writeTag)
+	done := m.storage.Submit(clk.Now(), dss.Request{
+		Op:     device.Write,
+		LBA:    lba,
+		Blocks: 1,
+		Class:  class,
+	})
+	if !background {
+		clk.AdvanceTo(done)
+	}
+	m.count(writeTag.Type(), 1)
+	return done, nil
+}
+
+// DeleteObject removes an object from the page store and informs the
+// storage system that its blocks are useless, via TRIM commands carrying
+// the "non-caching and eviction" policy.
+func (m *Manager) DeleteObject(clk *simclock.Clock, id pagestore.ObjectID) error {
+	exts, err := m.store.Delete(id)
+	if err != nil {
+		return err
+	}
+	if m.DisableTrim {
+		// Legacy path: file deletion changes only file-system metadata;
+		// the storage system is never told the blocks are dead.
+		return nil
+	}
+	for _, e := range exts {
+		if e.Pages == 0 {
+			continue
+		}
+		done := m.storage.Submit(clk.Now(), dss.Request{
+			Kind:   dss.Trim,
+			LBA:    e.Start,
+			Blocks: int(e.Pages),
+			Class:  m.table.TrimClass(),
+		})
+		clk.AdvanceTo(done)
+	}
+	return nil
+}
+
+// TypeStats returns a snapshot of the per-request-type counters.
+func (m *Manager) TypeStats() map[policy.RequestType]TypeStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[policy.RequestType]TypeStats, len(m.types))
+	for t, ts := range m.types {
+		out[t] = *ts
+	}
+	return out
+}
+
+// ResetTypeStats clears the per-request-type counters.
+func (m *Manager) ResetTypeStats() {
+	m.mu.Lock()
+	m.types = make(map[policy.RequestType]*TypeStats)
+	m.mu.Unlock()
+}
+
+// FormatTypeStats renders the Figure 4 row for this manager: the
+// percentage of requests and blocks in each class.
+func (m *Manager) FormatTypeStats() string {
+	stats := m.TypeStats()
+	var totReq, totBlk int64
+	for _, ts := range stats {
+		totReq += ts.Requests
+		totBlk += ts.Blocks
+	}
+	if totReq == 0 {
+		return "no requests"
+	}
+	out := ""
+	for _, t := range policy.RequestTypes() {
+		ts := stats[t]
+		out += fmt.Sprintf("%s: %.1f%%/%.1f%% ",
+			t, 100*float64(ts.Requests)/float64(totReq), 100*float64(ts.Blocks)/float64(totBlk))
+	}
+	return out
+}
+
+// Wait advances clk past any in-flight background work on both devices
+// (asynchronous flushes, dirty evictions). Experiments call it before
+// reading final times so background writes are not billed for free. A
+// zero-length access returns the device's busy-until without disturbing
+// its counters.
+func (m *Manager) Wait(clk *simclock.Clock) {
+	var until time.Duration
+	if d := m.storage.HDD(); d != nil {
+		if t := d.Access(clk.Now(), device.Read, 0, 0); t > until {
+			until = t
+		}
+	}
+	if d := m.storage.SSD(); d != nil {
+		if t := d.Access(clk.Now(), device.Read, 0, 0); t > until {
+			until = t
+		}
+	}
+	clk.AdvanceTo(until)
+}

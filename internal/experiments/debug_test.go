@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"testing"
+
+	"hstoragedb/internal/hybrid"
+)
+
+// TestDebugQ21 dumps Q21's storage behaviour for calibration.
+func TestDebugQ21(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration review only")
+	}
+	e := testEnv(t)
+	for _, mode := range []hybrid.Mode{hybrid.HDDOnly, hybrid.LRU, hybrid.HStorage} {
+		run, err := e.RunSingle(21, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("mode=%v elapsed=%v\n%s", mode, run.Elapsed, run.Storage)
+		for typ, ts := range run.TypeStats {
+			t.Logf("  type %v: req=%d blocks=%d", typ, ts.Requests, ts.Blocks)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"testing"
+
+	"hstoragedb/internal/hybrid"
+)
+
+// testEnv loads a small environment shared by the shape tests.
+func testEnv(t testing.TB) *Env {
+	t.Helper()
+	e, err := NewEnv(DefaultConfig())
+	if err != nil {
+		t.Fatalf("env: %v", err)
+	}
+	return e
+}
+
+// TestShapes prints the headline experiment outputs for manual
+// calibration review.
+func TestShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration review only")
+	}
+	e := testEnv(t)
+	f5, err := e.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + FormatModeTimes("Figure 5 (sequential: Q1,Q5,Q11,Q19)", f5))
+	f6, err := e.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + FormatModeTimes("Figure 6 (random: Q9,Q21)", f6))
+	f9, err := e.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + FormatModeTimes("Figure 9 (temp: Q18)", f9))
+
+	t5, err := e.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range t5 {
+		t.Logf("Table5 %s: accessed=%d hits=%d ratio=%.1f%%", r.Label, r.Accessed, r.Hits, 100*r.Ratio())
+	}
+	hs, lru, err := e.Table7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range hs {
+		t.Logf("Table7 hStorage %s: accessed=%d hits=%d ratio=%.1f%%", r.Label, r.Accessed, r.Hits, 100*r.Ratio())
+	}
+	for _, r := range lru {
+		t.Logf("Table7 LRU %s: accessed=%d hits=%d ratio=%.1f%%", r.Label, r.Accessed, r.Hits, 100*r.Ratio())
+	}
+	_ = hybrid.Modes()
+}

@@ -1,0 +1,267 @@
+// Package hybrid implements the hybrid storage system of hStorage-DB's
+// case study (Section 5): a two-level hierarchy with an SSD cache at level
+// one and an HDD at level two, managed either by the paper's
+// priority-based selective allocation/eviction (PriorityCache) or by the
+// classical LRU baseline (LRUCache). Passthrough configurations (HDDOnly,
+// SSDOnly) provide the evaluation's lower and upper bounds.
+package hybrid
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"hstoragedb/internal/device"
+	"hstoragedb/internal/dss"
+)
+
+// Mode selects the storage configuration used by the evaluation
+// (Section 6.3 runs every query under all four).
+type Mode int
+
+const (
+	// HDDOnly serves every request from the hard disk.
+	HDDOnly Mode = iota
+	// LRU manages the SSD cache with the classical LRU algorithm,
+	// ignoring request classes.
+	LRU
+	// HStorage manages the SSD cache with priority-based selective
+	// allocation and selective eviction.
+	HStorage
+	// SSDOnly serves every request from the SSD (the paper's ideal case).
+	SSDOnly
+	// ARC manages the SSD cache with the adaptive replacement cache
+	// (Megiddo & Modha, FAST 2003) — an extension baseline beyond the
+	// paper's LRU, representing the stronger monitoring-based policies
+	// its related-work section cites.
+	ARC
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case HDDOnly:
+		return "HDD-only"
+	case LRU:
+		return "LRU"
+	case HStorage:
+		return "hStorage-DB"
+	case SSDOnly:
+		return "SSD-only"
+	case ARC:
+		return "ARC"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Modes lists all four configurations in the order the paper plots them.
+func Modes() []Mode { return []Mode{HDDOnly, LRU, HStorage, SSDOnly} }
+
+// Config describes a storage system to build.
+type Config struct {
+	Mode Mode
+
+	// CacheBlocks is the SSD cache capacity in blocks. Ignored by the
+	// passthrough modes.
+	CacheBlocks int
+
+	// Policy is the QoS policy space; zero value means
+	// dss.DefaultPolicySpace(). Only HStorage consults it.
+	Policy dss.PolicySpace
+
+	// SSDSpec/HDDSpec override the device models; zero values mean
+	// Intel320/Cheetah15K.
+	SSDSpec device.Spec
+	HDDSpec device.Spec
+
+	// TransportLat is a per-request transport overhead (the paper's
+	// iSCSI/10GbE hop). Applied to every submitted request.
+	TransportLat time.Duration
+
+	// AsyncReadAlloc, when true, places read-allocated blocks into the
+	// cache off the critical path (the paper's "asynchronous read
+	// allocation" footnote). The default (false) is synchronous
+	// allocation, as in the prototype.
+	AsyncReadAlloc bool
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Policy.N == 0 {
+		c.Policy = dss.DefaultPolicySpace()
+	}
+	if c.SSDSpec.Name == "" {
+		c.SSDSpec = device.Intel320()
+	}
+	if c.HDDSpec.Name == "" {
+		c.HDDSpec = device.Cheetah15K()
+	}
+	return c
+}
+
+// ClassStats aggregates cache behaviour for one request class. Reads and
+// writes are tracked separately because the paper's per-class tables
+// (Tables 4-7) count reads: writes of temporary data, for example, are
+// always cache misses by construction (Section 6.3.3).
+type ClassStats struct {
+	Requests       int64
+	AccessedBlocks int64
+	Hits           int64 // block-granularity cache hits (reads + writes)
+
+	ReadBlocks  int64
+	ReadHits    int64
+	WriteBlocks int64
+	WriteHits   int64
+}
+
+// Snapshot is a point-in-time view of a storage system's counters. The
+// experiment tables (Tables 4-7 of the paper) are printed from snapshots.
+type Snapshot struct {
+	Mode         Mode
+	PerClass     map[dss.Class]ClassStats
+	CachedBlocks int
+
+	Hits        int64
+	Misses      int64
+	ReadAllocs  int64
+	WriteAllocs int64
+	Bypasses    int64
+	Reallocs    int64
+	Evictions   int64
+	DirtyEvict  int64
+	Trimmed     int64
+	WBFlushes   int64
+}
+
+// HitRatio returns total hits over total accessed blocks.
+func (s Snapshot) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Class returns the stats bucket for class c (zero value if absent).
+func (s Snapshot) Class(c dss.Class) ClassStats { return s.PerClass[c] }
+
+// String renders a compact multi-line summary.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: cached=%d hits=%d misses=%d (%.1f%%) evict=%d trim=%d\n",
+		s.Mode, s.CachedBlocks, s.Hits, s.Misses, 100*s.HitRatio(), s.Evictions, s.Trimmed)
+	classes := make([]int, 0, len(s.PerClass))
+	for c := range s.PerClass {
+		classes = append(classes, int(c))
+	}
+	sort.Ints(classes)
+	for _, c := range classes {
+		cs := s.PerClass[dss.Class(c)]
+		ratio := 0.0
+		if cs.AccessedBlocks > 0 {
+			ratio = float64(cs.Hits) / float64(cs.AccessedBlocks)
+		}
+		fmt.Fprintf(&b, "  %-12s req=%-10d blocks=%-10d hits=%-10d ratio=%.1f%%\n",
+			dss.Class(c), cs.Requests, cs.AccessedBlocks, cs.Hits, 100*ratio)
+	}
+	return b.String()
+}
+
+// System is a storage configuration under test: a classified-request
+// block store with inspectable counters.
+type System interface {
+	dss.Storage
+	// Stats returns a snapshot of the counters.
+	Stats() Snapshot
+	// ResetStats clears the counters but not the cache contents.
+	ResetStats()
+	// Mode reports which of the four configurations this is.
+	Mode() Mode
+	// SSD and HDD expose the underlying devices (either may be nil for
+	// the passthrough modes).
+	SSD() *device.Device
+	HDD() *device.Device
+}
+
+// New builds a storage system for the given configuration.
+func New(cfg Config) (System, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Policy.Validate(); err != nil {
+		return nil, err
+	}
+	switch cfg.Mode {
+	case HDDOnly:
+		return newPassthrough(cfg, false), nil
+	case SSDOnly:
+		return newPassthrough(cfg, true), nil
+	case LRU:
+		if cfg.CacheBlocks <= 0 {
+			return nil, fmt.Errorf("hybrid: LRU mode needs CacheBlocks > 0")
+		}
+		return newLRUCache(cfg), nil
+	case HStorage:
+		if cfg.CacheBlocks <= 0 {
+			return nil, fmt.Errorf("hybrid: hStorage mode needs CacheBlocks > 0")
+		}
+		return newPriorityCache(cfg), nil
+	case ARC:
+		if cfg.CacheBlocks <= 0 {
+			return nil, fmt.Errorf("hybrid: ARC mode needs CacheBlocks > 0")
+		}
+		return newARCCache(cfg), nil
+	}
+	return nil, fmt.Errorf("hybrid: unknown mode %v", cfg.Mode)
+}
+
+// statsBase carries the counters shared by all System implementations.
+type statsBase struct {
+	mode     Mode
+	perClass map[dss.Class]*ClassStats
+	snap     Snapshot
+}
+
+func newStatsBase(mode Mode) statsBase {
+	return statsBase{mode: mode, perClass: make(map[dss.Class]*ClassStats)}
+}
+
+func (s *statsBase) classStats(c dss.Class) *ClassStats {
+	cs := s.perClass[c]
+	if cs == nil {
+		cs = &ClassStats{}
+		s.perClass[c] = cs
+	}
+	return cs
+}
+
+func (s *statsBase) record(c dss.Class, op device.Op, blocks int, hits int64) {
+	cs := s.classStats(c)
+	cs.Requests++
+	cs.AccessedBlocks += int64(blocks)
+	cs.Hits += hits
+	if op == device.Read {
+		cs.ReadBlocks += int64(blocks)
+		cs.ReadHits += hits
+	} else {
+		cs.WriteBlocks += int64(blocks)
+		cs.WriteHits += hits
+	}
+	s.snap.Hits += hits
+	s.snap.Misses += int64(blocks) - hits
+}
+
+func (s *statsBase) snapshot(cached int) Snapshot {
+	out := s.snap
+	out.Mode = s.mode
+	out.CachedBlocks = cached
+	out.PerClass = make(map[dss.Class]ClassStats, len(s.perClass))
+	for c, cs := range s.perClass {
+		out.PerClass[c] = *cs
+	}
+	return out
+}
+
+func (s *statsBase) reset() {
+	s.snap = Snapshot{}
+	s.perClass = make(map[dss.Class]*ClassStats)
+}

@@ -1,0 +1,151 @@
+package hybrid
+
+import (
+	"sync"
+	"time"
+
+	"hstoragedb/internal/device"
+	"hstoragedb/internal/dss"
+)
+
+// lruCache is the monitoring-based baseline of the evaluation: the SSD
+// cache is managed as a single LRU stack. Every accessed block is
+// admitted — including sequentially scanned data (the cache pollution
+// Figure 5 demonstrates) — and request classes are recorded for
+// statistics but never influence placement. TRIM commands are ignored,
+// matching a legacy system where file deletion only changes file-system
+// metadata (Section 4.2.3).
+type lruCache struct {
+	mu   sync.Mutex
+	base statsBase
+
+	ssd *device.Device
+	hdd *device.Device
+	lat time.Duration
+
+	capacity   int
+	asyncAlloc bool
+
+	table   map[int64]*blockMeta
+	stack   lruList
+	cached  int
+	freePBN []int64
+	nextPBN int64
+}
+
+func newLRUCache(cfg Config) *lruCache {
+	c := &lruCache{
+		base:       newStatsBase(LRU),
+		ssd:        device.New(cfg.SSDSpec),
+		hdd:        device.New(cfg.HDDSpec),
+		lat:        cfg.TransportLat,
+		capacity:   cfg.CacheBlocks,
+		asyncAlloc: cfg.AsyncReadAlloc,
+		table:      make(map[int64]*blockMeta),
+	}
+	c.stack.init()
+	return c
+}
+
+// Submit implements dss.Storage.
+func (c *lruCache) Submit(at time.Duration, req dss.Request) time.Duration {
+	at += c.lat
+	if req.Kind == dss.Trim || req.Blocks <= 0 {
+		// Legacy block interface: TRIM is not understood.
+		return at
+	}
+	done := at
+	var hits int64
+	for i := 0; i < req.Blocks; i++ {
+		t, hit := c.access(at, req.Op, req.LBA+int64(i))
+		if hit {
+			hits++
+		}
+		if t > done {
+			done = t
+		}
+	}
+	c.mu.Lock()
+	c.base.record(req.Class, req.Op, req.Blocks, hits)
+	c.mu.Unlock()
+	return done
+}
+
+func (c *lruCache) access(at time.Duration, op device.Op, lbn int64) (time.Duration, bool) {
+	c.mu.Lock()
+	meta := c.table[lbn]
+	if meta != nil {
+		c.stack.moveToFront(meta)
+		if op == device.Write {
+			meta.dirty = true
+		}
+		pbn := meta.pbn
+		c.mu.Unlock()
+		return c.ssd.Access(at, op, pbn, 1), true
+	}
+
+	// Miss: always allocate, evicting the LRU block if full.
+	if c.cached >= c.capacity {
+		victim := c.stack.back()
+		if victim.dirty {
+			c.hdd.AccessBackground(at, device.Write, victim.lbn, 1)
+			c.base.snap.DirtyEvict++
+		}
+		c.base.snap.Evictions++
+		c.stack.remove(victim)
+		delete(c.table, victim.lbn)
+		c.freePBN = append(c.freePBN, victim.pbn)
+		c.cached--
+	}
+	var pbn int64
+	if n := len(c.freePBN); n > 0 {
+		pbn = c.freePBN[n-1]
+		c.freePBN = c.freePBN[:n-1]
+	} else {
+		pbn = c.nextPBN
+		c.nextPBN++
+	}
+	meta = &blockMeta{lbn: lbn, pbn: pbn, dirty: op == device.Write}
+	c.table[lbn] = meta
+	c.stack.pushFront(meta)
+	c.cached++
+	if op == device.Write {
+		c.base.snap.WriteAllocs++
+	} else {
+		c.base.snap.ReadAllocs++
+	}
+	c.mu.Unlock()
+
+	if op == device.Write {
+		return c.ssd.Access(at, device.Write, pbn, 1), false
+	}
+	hddDone := c.hdd.Access(at, device.Read, lbn, 1)
+	if c.asyncAlloc {
+		c.ssd.AccessBackground(hddDone, device.Write, pbn, 1)
+		return hddDone, false
+	}
+	return c.ssd.Access(hddDone, device.Write, pbn, 1), false
+}
+
+// Stats implements System.
+func (c *lruCache) Stats() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.base.snapshot(c.cached)
+}
+
+// ResetStats implements System.
+func (c *lruCache) ResetStats() {
+	c.mu.Lock()
+	c.base.reset()
+	c.mu.Unlock()
+}
+
+// Mode implements System.
+func (c *lruCache) Mode() Mode { return LRU }
+
+// SSD implements System.
+func (c *lruCache) SSD() *device.Device { return c.ssd }
+
+// HDD implements System.
+func (c *lruCache) HDD() *device.Device { return c.hdd }

@@ -1,0 +1,89 @@
+package hybrid
+
+import (
+	"sync"
+	"time"
+
+	"hstoragedb/internal/device"
+	"hstoragedb/internal/dss"
+)
+
+// passthrough serves every request from a single device: the HDD-only
+// baseline and the SSD-only ideal case of the evaluation. Classes are
+// recorded (so Figure 4's request-diversity counts work under any mode)
+// but have no effect on data placement. TRIM commands complete instantly.
+type passthrough struct {
+	mu   sync.Mutex
+	base statsBase
+	dev  *device.Device
+	ssd  bool
+	lat  time.Duration
+}
+
+func newPassthrough(cfg Config, ssd bool) *passthrough {
+	spec := cfg.HDDSpec
+	if ssd {
+		spec = cfg.SSDSpec
+	}
+	mode := HDDOnly
+	if ssd {
+		mode = SSDOnly
+	}
+	return &passthrough{
+		base: newStatsBase(mode),
+		dev:  device.New(spec),
+		ssd:  ssd,
+		lat:  cfg.TransportLat,
+	}
+}
+
+// Submit implements dss.Storage.
+func (p *passthrough) Submit(at time.Duration, req dss.Request) time.Duration {
+	at += p.lat
+	if req.Kind == dss.Trim || req.Blocks <= 0 {
+		return at
+	}
+	done := p.dev.Access(at, req.Op, req.LBA, req.Blocks)
+	p.mu.Lock()
+	p.base.record(req.Class, req.Op, req.Blocks, 0)
+	if p.ssd {
+		// Treat an SSD-only access as a "hit" for ratio purposes: the
+		// paper's SSD-only column has no cache at all, so we only keep
+		// block counters and leave hits at zero.
+	}
+	p.mu.Unlock()
+	return done
+}
+
+// Stats implements System.
+func (p *passthrough) Stats() Snapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.base.snapshot(0)
+}
+
+// ResetStats implements System.
+func (p *passthrough) ResetStats() {
+	p.mu.Lock()
+	p.base.reset()
+	p.mu.Unlock()
+}
+
+// Mode implements System.
+func (p *passthrough) Mode() Mode { return p.base.mode }
+
+// SSD implements System.
+func (p *passthrough) SSD() *device.Device {
+	if p.ssd {
+		return p.dev
+	}
+	return nil
+}
+
+// HDD implements System.
+func (p *passthrough) HDD() *device.Device {
+	if p.ssd {
+		return nil
+	}
+	return p.dev
+}

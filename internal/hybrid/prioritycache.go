@@ -1,0 +1,426 @@
+package hybrid
+
+import (
+	"sync"
+	"time"
+
+	"hstoragedb/internal/device"
+	"hstoragedb/internal/dss"
+)
+
+// wbGroup is the group id of the write buffer in the groups map. Regular
+// priority groups use their priority number 1..N.
+const wbGroup = -1
+
+// priorityCache is the paper's hybrid storage prototype: an SSD cache over
+// an HDD where both admission and eviction are driven by the caching
+// priority carried on each request (Section 5.1).
+//
+// Cached blocks are organized into N priority groups, each managed by LRU.
+// The six cache actions — hit, read allocation, write allocation,
+// bypassing, re-allocation, eviction — are implemented verbatim, plus the
+// write buffer of Rule 4 and TRIM-driven invalidation for temporary data.
+type priorityCache struct {
+	mu   sync.Mutex
+	base statsBase
+
+	ssd *device.Device
+	hdd *device.Device
+	pol dss.PolicySpace
+	lat time.Duration
+
+	capacity   int
+	asyncAlloc bool
+
+	table    map[int64]*blockMeta // lbn -> metadata (Section 5.2 hash table)
+	groups   map[int]*lruList     // priority -> LRU group
+	cached   int
+	wbBlocks int     // write-buffer occupancy in blocks
+	wbLimit  int     // b * capacity
+	freePBN  []int64 // recycled SSD slots
+	nextPBN  int64
+}
+
+func newPriorityCache(cfg Config) *priorityCache {
+	c := &priorityCache{
+		base:       newStatsBase(HStorage),
+		ssd:        device.New(cfg.SSDSpec),
+		hdd:        device.New(cfg.HDDSpec),
+		pol:        cfg.Policy,
+		lat:        cfg.TransportLat,
+		capacity:   cfg.CacheBlocks,
+		asyncAlloc: cfg.AsyncReadAlloc,
+		table:      make(map[int64]*blockMeta),
+		groups:     make(map[int]*lruList),
+	}
+	c.wbLimit = int(float64(cfg.CacheBlocks) * cfg.Policy.WriteBufferFrac)
+	for p := 1; p <= cfg.Policy.N; p++ {
+		c.groups[p] = newList()
+	}
+	c.groups[wbGroup] = newList()
+	return c
+}
+
+func newList() *lruList {
+	l := &lruList{}
+	l.init()
+	return l
+}
+
+// Submit implements dss.Storage.
+func (c *priorityCache) Submit(at time.Duration, req dss.Request) time.Duration {
+	at += c.lat
+	if req.Kind == dss.Trim {
+		c.trim(req)
+		return at
+	}
+	if req.Blocks <= 0 {
+		return at
+	}
+
+	done := at
+	var hits int64
+	for i := 0; i < req.Blocks; i++ {
+		lbn := req.LBA + int64(i)
+		var t time.Duration
+		var hit bool
+		if req.Op == device.Read {
+			t, hit = c.readBlock(at, lbn, req.Class)
+		} else {
+			t, hit = c.writeBlock(at, lbn, req.Class)
+		}
+		if hit {
+			hits++
+		}
+		if t > done {
+			done = t
+		}
+	}
+
+	c.mu.Lock()
+	c.base.record(req.Class, req.Op, req.Blocks, hits)
+	c.mu.Unlock()
+	return done
+}
+
+// readBlock serves one block of a read request and returns (completion
+// time, cache hit).
+func (c *priorityCache) readBlock(at time.Duration, lbn int64, class dss.Class) (time.Duration, bool) {
+	c.mu.Lock()
+	meta := c.table[lbn]
+	if meta != nil {
+		// Action 1: cache hit (possibly followed by re-allocation).
+		pbn := meta.pbn
+		c.reallocate(meta, class)
+		c.mu.Unlock()
+		return c.ssd.Access(at, device.Read, pbn, 1), true
+	}
+
+	if c.pol.NonCaching(class) || class == dss.ClassNone || class == dss.ClassWriteBuffer {
+		// Action 4: bypassing — low-priority blocks move directly between
+		// the OS and the level-two device. The write-buffer class is only
+		// meaningful on writes; a (malformed) read carrying it is served
+		// without disturbing the layout.
+		c.base.snap.Bypasses++
+		c.mu.Unlock()
+		return c.hdd.Access(at, device.Read, lbn, 1), false
+	}
+
+	// Action 2: read allocation.
+	k := int(class)
+	if !c.ensureSpace(at, k, false) {
+		// No admissible victim: every cached block outranks the incoming
+		// priority, so the request bypasses the cache.
+		c.base.snap.Bypasses++
+		c.mu.Unlock()
+		return c.hdd.Access(at, device.Read, lbn, 1), false
+	}
+	meta = c.insert(lbn, k, false)
+	c.base.snap.ReadAllocs++
+	pbn := meta.pbn
+	c.mu.Unlock()
+
+	hddDone := c.hdd.Access(at, device.Read, lbn, 1)
+	if c.asyncAlloc {
+		// Asynchronous read allocation: the block is served from the HDD
+		// into the OS and copied into cache off the critical path.
+		c.ssd.AccessBackground(hddDone, device.Write, pbn, 1)
+		return hddDone, false
+	}
+	// Synchronous read allocation: data is placed into cache before the
+	// read returns.
+	return c.ssd.Access(hddDone, device.Write, pbn, 1), false
+}
+
+// writeBlock serves one block of a write request.
+func (c *priorityCache) writeBlock(at time.Duration, lbn int64, class dss.Class) (time.Duration, bool) {
+	if class == dss.ClassWriteBuffer {
+		return c.writeBuffered(at, lbn)
+	}
+
+	c.mu.Lock()
+	meta := c.table[lbn]
+	if meta != nil {
+		// Write hit: update the cached copy in place.
+		if meta.class == wbGroup {
+			// Leaving it in the write buffer keeps the occupancy
+			// accounting intact.
+			c.groups[wbGroup].moveToFront(meta)
+		} else {
+			c.reallocate(meta, class)
+		}
+		meta.dirty = true
+		pbn := meta.pbn
+		c.mu.Unlock()
+		return c.ssd.Access(at, device.Write, pbn, 1), true
+	}
+
+	if c.pol.NonCaching(class) || class == dss.ClassNone {
+		c.base.snap.Bypasses++
+		c.mu.Unlock()
+		return c.hdd.Access(at, device.Write, lbn, 1), false
+	}
+
+	// Action 3: write allocation — incoming blocks are placed in cache,
+	// marked dirty, and the request returns as soon as marking is done.
+	k := int(class)
+	if !c.ensureSpace(at, k, false) {
+		c.base.snap.Bypasses++
+		c.mu.Unlock()
+		return c.hdd.Access(at, device.Write, lbn, 1), false
+	}
+	meta = c.insert(lbn, k, true)
+	c.base.snap.WriteAllocs++
+	pbn := meta.pbn
+	c.mu.Unlock()
+	return c.ssd.Access(at, device.Write, pbn, 1), false
+}
+
+// writeBuffered handles Rule 4 updates: they win cache space over any
+// other priority, bounded by the write-buffer budget b.
+func (c *priorityCache) writeBuffered(at time.Duration, lbn int64) (time.Duration, bool) {
+	c.mu.Lock()
+	meta := c.table[lbn]
+	hit := meta != nil
+	if meta == nil {
+		if !c.ensureSpace(at, 0, true) {
+			// Cache entirely occupied by the write buffer itself: flush
+			// it and retry once.
+			c.flushWriteBuffer(at)
+			if !c.ensureSpace(at, 0, true) {
+				c.base.snap.Bypasses++
+				c.mu.Unlock()
+				return c.hdd.Access(at, device.Write, lbn, 1), false
+			}
+		}
+		meta = c.insert(lbn, wbGroup, true)
+		c.wbBlocks++
+		c.base.snap.WriteAllocs++
+	} else {
+		if meta.class != wbGroup {
+			c.moveGroup(meta, wbGroup)
+			c.wbBlocks++
+		} else {
+			c.groups[wbGroup].moveToFront(meta)
+		}
+		meta.dirty = true
+	}
+	pbn := meta.pbn
+	flush := c.wbBlocks > c.wbLimit
+	if flush {
+		// When occupancy exceeds b, all write-buffer content is flushed
+		// into the HDD (asynchronously).
+		c.flushWriteBuffer(at)
+	}
+	c.mu.Unlock()
+	return c.ssd.Access(at, device.Write, pbn, 1), hit
+}
+
+// flushWriteBuffer writes every dirty write-buffer block to the HDD in
+// the background and releases the write-buffer budget. The flushed blocks
+// stay in cache — clean, demoted to the lowest caching priority — so
+// re-reads of recently updated data still hit; they are simply first in
+// line for eviction. Caller holds c.mu.
+func (c *priorityCache) flushWriteBuffer(at time.Duration) {
+	g := c.groups[wbGroup]
+	demoteTo := c.pol.RandHigh
+	for g.len() > 0 {
+		meta := g.back()
+		if meta.dirty {
+			c.hdd.AccessBackground(at, device.Write, meta.lbn, 1)
+			meta.dirty = false
+		}
+		c.moveGroup(meta, demoteTo)
+	}
+	c.wbBlocks = 0
+	c.base.snap.WBFlushes++
+}
+
+// reallocate applies the priority carried by a request to a block already
+// in cache (Action 5). Caller holds c.mu.
+func (c *priorityCache) reallocate(meta *blockMeta, class dss.Class) {
+	switch {
+	case class == dss.ClassNone:
+		// Unclassified requests do not disturb the layout.
+		c.groups[meta.class].moveToFront(meta)
+	case class == c.pol.Sequential():
+		// "Non-caching and non-eviction": the block's existing priority,
+		// determined by a previous request, is not affected.
+	case class == c.pol.Eviction():
+		// "Non-caching and eviction": demote so the block leaves cache
+		// timely.
+		if meta.class != int(c.pol.Eviction()) {
+			if meta.class == wbGroup {
+				c.wbBlocks--
+			}
+			c.moveGroup(meta, int(c.pol.Eviction()))
+			c.base.snap.Reallocs++
+		}
+	case class == dss.ClassWriteBuffer:
+		if meta.class != wbGroup {
+			c.moveGroup(meta, wbGroup)
+			c.wbBlocks++
+			c.base.snap.Reallocs++
+		} else {
+			c.groups[wbGroup].moveToFront(meta)
+		}
+	default:
+		k := int(class)
+		if meta.class != k {
+			if meta.class == wbGroup {
+				c.wbBlocks--
+			}
+			c.moveGroup(meta, k)
+			c.base.snap.Reallocs++
+		} else {
+			c.groups[k].moveToFront(meta)
+		}
+	}
+}
+
+// ensureSpace guarantees a free slot for an incoming block of priority k
+// (k == 0 with forWB means a write-buffer block, which outranks
+// everything). It returns false when no cached block has priority >= k,
+// i.e. selective allocation refuses admission. Caller holds c.mu.
+func (c *priorityCache) ensureSpace(at time.Duration, k int, forWB bool) bool {
+	if c.cached < c.capacity {
+		return true
+	}
+	// Selective eviction: find the group whose priority is numerically
+	// largest (all other blocks outrank it) and evict its LRU block.
+	for p := c.pol.N; p >= 1; p-- {
+		g := c.groups[p]
+		if g.len() == 0 {
+			continue
+		}
+		if !forWB && p < k {
+			// The lowest-ranked cached block still outranks the incoming
+			// one: admission denied.
+			return false
+		}
+		c.evict(at, g.back())
+		return true
+	}
+	// Only write-buffer blocks remain.
+	return false
+}
+
+// evict removes a block from cache, writing it back if dirty (Action 6).
+// Caller holds c.mu.
+func (c *priorityCache) evict(at time.Duration, meta *blockMeta) {
+	if meta.dirty {
+		c.hdd.AccessBackground(at, device.Write, meta.lbn, 1)
+		c.base.snap.DirtyEvict++
+	}
+	c.base.snap.Evictions++
+	if meta.class == wbGroup {
+		c.wbBlocks--
+	}
+	c.drop(meta)
+}
+
+// drop unlinks a block and recycles its SSD slot. Caller holds c.mu.
+func (c *priorityCache) drop(meta *blockMeta) {
+	c.groups[meta.class].remove(meta)
+	delete(c.table, meta.lbn)
+	c.freePBN = append(c.freePBN, meta.pbn)
+	c.cached--
+}
+
+// insert adds a new block to group k and returns its metadata. Caller
+// holds c.mu and must have ensured space.
+func (c *priorityCache) insert(lbn int64, k int, dirty bool) *blockMeta {
+	var pbn int64
+	if n := len(c.freePBN); n > 0 {
+		pbn = c.freePBN[n-1]
+		c.freePBN = c.freePBN[:n-1]
+	} else {
+		pbn = c.nextPBN
+		c.nextPBN++
+	}
+	meta := &blockMeta{lbn: lbn, pbn: pbn, class: k, dirty: dirty}
+	c.table[lbn] = meta
+	c.groups[k].pushFront(meta)
+	c.cached++
+	return meta
+}
+
+// moveGroup transfers a block between priority groups. Caller holds c.mu.
+func (c *priorityCache) moveGroup(meta *blockMeta, k int) {
+	c.groups[meta.class].remove(meta)
+	meta.class = k
+	c.groups[k].pushFront(meta)
+}
+
+// trim invalidates an LBA range (deleted temporary files). Dirty copies
+// are dropped without write-back: the blocks are useless by definition.
+func (c *priorityCache) trim(req dss.Request) {
+	c.mu.Lock()
+	for i := 0; i < req.Blocks; i++ {
+		if meta := c.table[req.LBA+int64(i)]; meta != nil {
+			if meta.class == wbGroup {
+				c.wbBlocks--
+			}
+			c.drop(meta)
+			c.base.snap.Trimmed++
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Stats implements System.
+func (c *priorityCache) Stats() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.base.snapshot(c.cached)
+}
+
+// ResetStats implements System.
+func (c *priorityCache) ResetStats() {
+	c.mu.Lock()
+	c.base.reset()
+	c.mu.Unlock()
+}
+
+// Mode implements System.
+func (c *priorityCache) Mode() Mode { return HStorage }
+
+// SSD implements System.
+func (c *priorityCache) SSD() *device.Device { return c.ssd }
+
+// HDD implements System.
+func (c *priorityCache) HDD() *device.Device { return c.hdd }
+
+// GroupLens reports the number of cached blocks per priority group,
+// including the write buffer under key -1. Used by tests and ablations.
+func (c *priorityCache) GroupLens() map[int]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[int]int, len(c.groups))
+	for p, g := range c.groups {
+		if g.len() > 0 {
+			out[p] = g.len()
+		}
+	}
+	return out
+}

@@ -1,0 +1,319 @@
+package hybrid
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"hstoragedb/internal/device"
+	"hstoragedb/internal/dss"
+)
+
+func newTestCache(t *testing.T, blocks int) *priorityCache {
+	t.Helper()
+	sys, err := New(Config{Mode: HStorage, CacheBlocks: blocks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys.(*priorityCache)
+}
+
+func read(c dss.Class, lba int64, blocks int) dss.Request {
+	return dss.Request{Op: device.Read, LBA: lba, Blocks: blocks, Class: c}
+}
+
+func write(c dss.Class, lba int64, blocks int) dss.Request {
+	return dss.Request{Op: device.Write, LBA: lba, Blocks: blocks, Class: c}
+}
+
+func TestSequentialNeverCached(t *testing.T) {
+	c := newTestCache(t, 64)
+	space := dss.DefaultPolicySpace()
+	c.Submit(0, read(space.Sequential(), 0, 32))
+	if got := c.Stats().CachedBlocks; got != 0 {
+		t.Fatalf("sequential read cached %d blocks", got)
+	}
+	if c.Stats().Bypasses != 32 {
+		t.Fatalf("bypasses = %d, want 32", c.Stats().Bypasses)
+	}
+}
+
+func TestRandomReadAllocates(t *testing.T) {
+	c := newTestCache(t, 64)
+	c.Submit(0, read(2, 0, 8))
+	s := c.Stats()
+	if s.CachedBlocks != 8 || s.ReadAllocs != 8 {
+		t.Fatalf("cached=%d readAllocs=%d, want 8/8", s.CachedBlocks, s.ReadAllocs)
+	}
+	// Second access: all hits.
+	c.Submit(0, read(2, 0, 8))
+	if got := c.Stats().Hits; got != 8 {
+		t.Fatalf("hits = %d, want 8", got)
+	}
+}
+
+func TestTempWriteThenReadHits(t *testing.T) {
+	c := newTestCache(t, 64)
+	space := dss.DefaultPolicySpace()
+	c.Submit(0, write(space.Temporary(), 100, 16))
+	c.Submit(0, read(space.Temporary(), 100, 16))
+	s := c.Stats()
+	cs := s.Class(space.Temporary())
+	if cs.ReadHits != 16 {
+		t.Fatalf("temp read hits = %d, want 16 (100%% per Section 6.3.3)", cs.ReadHits)
+	}
+}
+
+func TestSelectiveEvictionOrder(t *testing.T) {
+	// Fill with priority 5 blocks, then priority 2 arrivals must evict
+	// them (5 >= 2); a further priority-6 arrival must be refused
+	// (all cached blocks outrank it) and bypass.
+	c := newTestCache(t, 4)
+	c.Submit(0, read(5, 0, 4))
+	if c.Stats().CachedBlocks != 4 {
+		t.Fatal("setup failed")
+	}
+	c.Submit(0, read(2, 100, 2))
+	s := c.Stats()
+	if s.Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2", s.Evictions)
+	}
+	lens := c.GroupLens()
+	if lens[2] != 2 || lens[5] != 2 {
+		t.Fatalf("groups %v, want 2 each in groups 2 and 5", lens)
+	}
+
+	// Now cache holds prios {2,2,5,5}. Incoming priority 6 must bypass:
+	// the eviction candidate group is 5, and 5 < 6.
+	before := c.Stats().Bypasses
+	c.Submit(0, read(6, 200, 1))
+	if c.Stats().Bypasses != before+1 {
+		t.Fatalf("low-priority arrival was not refused")
+	}
+	if c.Stats().CachedBlocks != 4 {
+		t.Fatalf("cache content changed: %d", c.Stats().CachedBlocks)
+	}
+}
+
+func TestLRUWithinGroup(t *testing.T) {
+	c := newTestCache(t, 3)
+	c.Submit(0, read(3, 0, 1))
+	c.Submit(0, read(3, 1, 1))
+	c.Submit(0, read(3, 2, 1))
+	// Touch block 0 so block 1 becomes the group's LRU.
+	c.Submit(0, read(3, 0, 1))
+	// New arrival evicts the least-recently-used member of group 3.
+	c.Submit(0, read(3, 50, 1))
+	if _, ok := c.table[1]; ok {
+		t.Fatal("LRU victim (block 1) still cached")
+	}
+	if _, ok := c.table[0]; !ok {
+		t.Fatal("recently used block 0 was evicted")
+	}
+}
+
+func TestNonEvictionHitPreservesPriority(t *testing.T) {
+	c := newTestCache(t, 8)
+	space := dss.DefaultPolicySpace()
+	c.Submit(0, read(2, 0, 1))
+	// A sequential request touching the cached block must not change its
+	// priority (Rule 1: "non-caching and non-eviction").
+	c.Submit(0, read(space.Sequential(), 0, 1))
+	if got := c.table[0].class; got != 2 {
+		t.Fatalf("priority changed to %d by a sequential hit", got)
+	}
+	if c.Stats().Hits != 1 {
+		t.Fatalf("sequential request on cached block should still hit (got %d)", c.Stats().Hits)
+	}
+}
+
+func TestEvictionClassDemotes(t *testing.T) {
+	c := newTestCache(t, 8)
+	space := dss.DefaultPolicySpace()
+	c.Submit(0, read(2, 0, 1))
+	c.Submit(0, read(2, 1, 1))
+	// "Non-caching and eviction" read: block 0 becomes evictable first.
+	c.Submit(0, read(space.Eviction(), 0, 1))
+	if got := c.table[0].class; got != int(space.Eviction()) {
+		t.Fatalf("block not demoted: group %d", got)
+	}
+	// Fill the cache; the demoted block must go first.
+	c.Submit(0, read(4, 100, 7))
+	if _, ok := c.table[0]; ok {
+		t.Fatal("demoted block survived eviction pressure")
+	}
+	if _, ok := c.table[1]; !ok {
+		t.Fatal("untouched priority-2 block was evicted before the demoted one")
+	}
+}
+
+func TestEvictionClassDoesNotAdmit(t *testing.T) {
+	c := newTestCache(t, 8)
+	space := dss.DefaultPolicySpace()
+	c.Submit(0, read(space.Eviction(), 0, 4))
+	if c.Stats().CachedBlocks != 0 {
+		t.Fatal("eviction-class read admitted blocks")
+	}
+}
+
+func TestReallocationBetweenPriorities(t *testing.T) {
+	c := newTestCache(t, 8)
+	c.Submit(0, read(4, 0, 1))
+	c.Submit(0, read(2, 0, 1)) // re-access at higher priority
+	if got := c.table[0].class; got != 2 {
+		t.Fatalf("block in group %d, want re-allocated to 2", got)
+	}
+	if c.Stats().Reallocs != 1 {
+		t.Fatalf("reallocs = %d, want 1", c.Stats().Reallocs)
+	}
+}
+
+func TestWriteBufferFlush(t *testing.T) {
+	// Capacity 100, b = 10% -> flush when write-buffer occupancy
+	// exceeds 10 blocks.
+	c := newTestCache(t, 100)
+	for i := int64(0); i < 10; i++ {
+		c.Submit(0, write(dss.ClassWriteBuffer, i, 1))
+	}
+	if c.Stats().WBFlushes != 0 {
+		t.Fatalf("flushed before exceeding b")
+	}
+	c.Submit(0, write(dss.ClassWriteBuffer, 10, 1))
+	s := c.Stats()
+	if s.WBFlushes != 1 {
+		t.Fatalf("WBFlushes = %d, want 1", s.WBFlushes)
+	}
+	if c.wbBlocks != 0 {
+		t.Fatalf("write buffer not emptied: %d", c.wbBlocks)
+	}
+	// Flushed dirty blocks must have been written to the HDD.
+	if w := c.HDD().Stats().Writes; w != 11 {
+		t.Fatalf("HDD writes = %d, want 11 (flushed buffer)", w)
+	}
+}
+
+func TestWriteBufferWinsOverAnyPriority(t *testing.T) {
+	c := newTestCache(t, 40)
+	c.Submit(0, read(2, 0, 40)) // fill with the highest random priority
+	c.Submit(0, write(dss.ClassWriteBuffer, 100, 1))
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("write buffer failed to claim space: evictions=%d", c.Stats().Evictions)
+	}
+	if _, ok := c.table[100]; !ok {
+		t.Fatal("update block not buffered")
+	}
+	if c.GroupLens()[wbGroup] != 1 {
+		t.Fatalf("write buffer group %v", c.GroupLens())
+	}
+}
+
+func TestTrimInvalidates(t *testing.T) {
+	c := newTestCache(t, 64)
+	space := dss.DefaultPolicySpace()
+	c.Submit(0, write(space.Temporary(), 0, 16))
+	if c.Stats().CachedBlocks != 16 {
+		t.Fatal("setup failed")
+	}
+	hddWrites := c.HDD().Stats().Writes
+	c.Submit(0, dss.Request{Kind: dss.Trim, LBA: 0, Blocks: 16, Class: space.Eviction()})
+	s := c.Stats()
+	if s.CachedBlocks != 0 || s.Trimmed != 16 {
+		t.Fatalf("cached=%d trimmed=%d, want 0/16", s.CachedBlocks, s.Trimmed)
+	}
+	// Dead temporary data must not be written back.
+	if c.HDD().Stats().Writes != hddWrites {
+		t.Fatal("TRIM wrote dead blocks to the HDD")
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	c := newTestCache(t, 2)
+	c.Submit(0, write(3, 0, 2)) // two dirty blocks
+	c.Submit(0, read(2, 100, 1))
+	s := c.Stats()
+	if s.DirtyEvict != 1 {
+		t.Fatalf("dirtyEvict = %d, want 1", s.DirtyEvict)
+	}
+	if c.HDD().Stats().Writes != 1 {
+		t.Fatalf("HDD writes = %d, want 1", c.HDD().Stats().Writes)
+	}
+}
+
+func TestUnclassifiedBypasses(t *testing.T) {
+	c := newTestCache(t, 8)
+	c.Submit(0, read(dss.ClassNone, 0, 4))
+	if c.Stats().CachedBlocks != 0 {
+		t.Fatal("unclassified request was cached")
+	}
+}
+
+// Invariant check used by the property test.
+func (c *priorityCache) checkInvariants(t *testing.T) {
+	t.Helper()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cached > c.capacity {
+		t.Fatalf("occupancy %d exceeds capacity %d", c.cached, c.capacity)
+	}
+	total := 0
+	for _, g := range c.groups {
+		total += g.len()
+	}
+	if total != c.cached || total != len(c.table) {
+		t.Fatalf("group total %d, cached %d, table %d diverge", total, c.cached, len(c.table))
+	}
+	if c.groups[wbGroup].len() != c.wbBlocks {
+		t.Fatalf("wbBlocks %d != wb group %d", c.wbBlocks, c.groups[wbGroup].len())
+	}
+	seen := map[int64]bool{}
+	for p, g := range c.groups {
+		for b := g.root.next; b != &g.root; b = b.next {
+			if b.class != p {
+				t.Fatalf("block %d in group %d tagged %d", b.lbn, p, b.class)
+			}
+			if seen[b.lbn] {
+				t.Fatalf("block %d in two groups", b.lbn)
+			}
+			seen[b.lbn] = true
+			if c.table[b.lbn] != b {
+				t.Fatalf("table and list disagree for %d", b.lbn)
+			}
+		}
+	}
+}
+
+// TestRandomizedInvariants hammers the cache with a random request mix
+// and checks structural invariants throughout.
+func TestRandomizedInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	c := newTestCache(t, 32)
+	space := dss.DefaultPolicySpace()
+	classes := []dss.Class{
+		space.Temporary(), 2, 3, 4, 5, 6,
+		space.Sequential(), space.Eviction(), dss.ClassWriteBuffer, dss.ClassNone,
+	}
+	var at time.Duration
+	for i := 0; i < 5000; i++ {
+		cl := classes[rng.Intn(len(classes))]
+		lba := int64(rng.Intn(128))
+		blocks := 1 + rng.Intn(4)
+		var req dss.Request
+		switch rng.Intn(5) {
+		case 0:
+			req = write(cl, lba, blocks)
+		case 1:
+			req = dss.Request{Kind: dss.Trim, LBA: lba, Blocks: blocks, Class: space.Eviction()}
+		default:
+			req = read(cl, lba, blocks)
+		}
+		at = c.Submit(at, req)
+		if i%100 == 0 {
+			c.checkInvariants(t)
+		}
+	}
+	c.checkInvariants(t)
+	s := c.Stats()
+	if s.Hits == 0 {
+		t.Fatal("random mix produced no cache hits at all")
+	}
+}

@@ -1,0 +1,233 @@
+// Package pagestore maps database objects (tables, indexes, temporary
+// files) onto the linear block address space of the storage system, and
+// holds the page contents themselves.
+//
+// The simulated devices (package device) model timing only; the actual
+// bytes of every page live here, in the role the disk platters play on a
+// real system. Objects are laid out in contiguous extents so that a
+// sequential scan of an object produces a sequential LBA run — the
+// property Rule 1 of the paper depends on.
+//
+// Deleting an object releases its extents and reports them to the caller
+// so the storage manager can issue TRIM commands (Section 4.2.3).
+package pagestore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// PageSize is the size of a page in bytes (one device block).
+const PageSize = 8192
+
+// ExtentPages is the number of pages in an allocation extent. Objects grow
+// extent by extent, keeping their LBA runs contiguous.
+const ExtentPages = 256
+
+// ObjectID identifies a storage object. IDs are assigned by the catalog;
+// temporary files receive IDs from a reserved high range.
+type ObjectID uint32
+
+// Extent is a contiguous LBA range [Start, Start+Pages).
+type Extent struct {
+	Start int64
+	Pages int64
+}
+
+// object tracks one object's extents and logical size.
+type object struct {
+	extents []int64 // start LBA of each extent
+	pages   int64   // logical page count
+}
+
+// Store is the page store. It is safe for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	objects map[ObjectID]*object
+	pages   map[int64][]byte // LBA -> content
+	freeExt []int64          // recycled extent start LBAs
+	nextLBA int64
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{
+		objects: make(map[ObjectID]*object),
+		pages:   make(map[int64][]byte),
+	}
+}
+
+// Create registers a new empty object. Creating an existing object is an
+// error.
+func (s *Store) Create(id ObjectID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.objects[id]; ok {
+		return fmt.Errorf("pagestore: object %d already exists", id)
+	}
+	s.objects[id] = &object{}
+	return nil
+}
+
+// Exists reports whether the object is registered.
+func (s *Store) Exists(id ObjectID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.objects[id]
+	return ok
+}
+
+// Pages returns the logical page count of the object (0 if absent).
+func (s *Store) Pages(id ObjectID) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if o := s.objects[id]; o != nil {
+		return o.pages
+	}
+	return 0
+}
+
+// allocExtent returns the start LBA of a fresh extent. Caller holds s.mu.
+func (s *Store) allocExtent() int64 {
+	if n := len(s.freeExt); n > 0 {
+		lba := s.freeExt[n-1]
+		s.freeExt = s.freeExt[:n-1]
+		return lba
+	}
+	lba := s.nextLBA
+	s.nextLBA += ExtentPages
+	return lba
+}
+
+// LBA translates (object, page) to a block address, growing the object as
+// needed. Writers may arrive out of order (the buffer pool flushes dirty
+// pages in arbitrary order), so growth past the current end is allowed;
+// the intervening pages read as zeroes until written.
+func (s *Store) LBA(id ObjectID, page int64) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o := s.objects[id]
+	if o == nil {
+		return 0, fmt.Errorf("pagestore: unknown object %d", id)
+	}
+	if page < 0 {
+		return 0, fmt.Errorf("pagestore: object %d: negative page %d", id, page)
+	}
+	if page >= o.pages {
+		o.pages = page + 1
+	}
+	ext := page / ExtentPages
+	for int64(len(o.extents)) <= ext {
+		o.extents = append(o.extents, s.allocExtent())
+	}
+	return o.extents[ext] + page%ExtentPages, nil
+}
+
+// ReadPage copies the content of (object, page) into a fresh buffer. Pages
+// never written read as zeroes.
+func (s *Store) ReadPage(id ObjectID, page int64) ([]byte, int64, error) {
+	lba, err := s.LBA(id, page)
+	if err != nil {
+		return nil, 0, err
+	}
+	buf := make([]byte, PageSize)
+	s.mu.Lock()
+	if data, ok := s.pages[lba]; ok {
+		copy(buf, data)
+	}
+	s.mu.Unlock()
+	return buf, lba, nil
+}
+
+// WritePage stores the content of (object, page). The data is copied.
+func (s *Store) WritePage(id ObjectID, page int64, data []byte) (int64, error) {
+	if len(data) > PageSize {
+		return 0, fmt.Errorf("pagestore: page payload %d exceeds %d", len(data), PageSize)
+	}
+	lba, err := s.LBA(id, page)
+	if err != nil {
+		return 0, err
+	}
+	buf := make([]byte, PageSize)
+	copy(buf, data)
+	s.mu.Lock()
+	s.pages[lba] = buf
+	s.mu.Unlock()
+	return lba, nil
+}
+
+// Truncate discards the object's content but keeps it registered.
+func (s *Store) Truncate(id ObjectID) ([]Extent, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o := s.objects[id]
+	if o == nil {
+		return nil, fmt.Errorf("pagestore: unknown object %d", id)
+	}
+	ext := s.release(o)
+	o.extents = nil
+	o.pages = 0
+	return ext, nil
+}
+
+// Delete removes the object and returns the freed extents so the caller
+// can TRIM them.
+func (s *Store) Delete(id ObjectID) ([]Extent, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o := s.objects[id]
+	if o == nil {
+		return nil, fmt.Errorf("pagestore: unknown object %d", id)
+	}
+	ext := s.release(o)
+	delete(s.objects, id)
+	return ext, nil
+}
+
+// release frees an object's extents and content. Caller holds s.mu.
+func (s *Store) release(o *object) []Extent {
+	exts := make([]Extent, 0, len(o.extents))
+	for i, start := range o.extents {
+		pagesInExt := int64(ExtentPages)
+		if i == len(o.extents)-1 {
+			if rem := o.pages - int64(i)*ExtentPages; rem < pagesInExt {
+				pagesInExt = rem
+			}
+		}
+		if pagesInExt < 0 {
+			pagesInExt = 0
+		}
+		exts = append(exts, Extent{Start: start, Pages: pagesInExt})
+		for p := int64(0); p < ExtentPages; p++ {
+			delete(s.pages, start+p)
+		}
+		s.freeExt = append(s.freeExt, start)
+	}
+	sort.Slice(exts, func(i, j int) bool { return exts[i].Start < exts[j].Start })
+	return exts
+}
+
+// Objects returns the registered object IDs (sorted, for deterministic
+// iteration in tests).
+func (s *Store) Objects() []ObjectID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]ObjectID, 0, len(s.objects))
+	for id := range s.objects {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// TotalPages reports the sum of logical pages across objects.
+func (s *Store) TotalPages() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for _, o := range s.objects {
+		n += o.pages
+	}
+	return n
+}

@@ -1,0 +1,142 @@
+// Package simclock provides the virtual-time substrate used by the
+// storage simulator.
+//
+// The paper's evaluation measures wall-clock execution time on a real
+// testbed. This reproduction replaces the testbed with a discrete-event
+// model: every I/O request has a service time derived from a device model
+// (see package device), and devices are serialized resources. A Resource
+// tracks the instant until which it is busy; a request arriving at logical
+// time t starts at max(t, busyUntil) and completes at start+service. Each
+// query stream advances its own logical clock, so concurrent streams
+// contend for devices exactly the way concurrent queries contend for a
+// shared disk.
+package simclock
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Duration is virtual time. It aliases time.Duration so device models can
+// use familiar literals (time.Millisecond etc.) while remaining purely
+// simulated.
+type Duration = time.Duration
+
+// Clock is a monotonically advancing virtual clock for one request stream.
+// The zero value is a clock at time zero, ready to use.
+type Clock struct {
+	mu  sync.Mutex
+	now Duration
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d. Negative d is ignored so callers
+// can pass raw deltas without clamping.
+func (c *Clock) Advance(d Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+// AdvanceTo moves the clock to t if t is later than the current time and
+// returns the resulting time.
+func (c *Clock) AdvanceTo(t Duration) Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t > c.now {
+		c.now = t
+	}
+	return c.now
+}
+
+// Reset rewinds the clock to zero. Intended for reusing a clock between
+// experiment runs.
+func (c *Clock) Reset() {
+	c.mu.Lock()
+	c.now = 0
+	c.mu.Unlock()
+}
+
+// Resource is a serially shared facility (a disk, an SSD, a network link).
+// Concurrent streams that use the same Resource queue behind one another:
+// service is granted in call order, and each call returns the completion
+// time of the request.
+type Resource struct {
+	mu        sync.Mutex
+	busyUntil Duration
+	busyTime  Duration // total time spent serving
+	served    int64
+}
+
+// Serve schedules a request arriving at time `at` that needs `service`
+// time. It returns the completion time. Service is never negative.
+func (r *Resource) Serve(at, service Duration) Duration {
+	if service < 0 {
+		service = 0
+	}
+	r.mu.Lock()
+	start := at
+	if r.busyUntil > start {
+		start = r.busyUntil
+	}
+	end := start + service
+	r.busyUntil = end
+	r.busyTime += service
+	r.served++
+	r.mu.Unlock()
+	return end
+}
+
+// ServeBackground schedules work on the resource without a waiting
+// requester: the work occupies the device beginning at time `at` (or when
+// the device becomes free, whichever is later) but nobody blocks on the
+// completion. This models asynchronous flushes from the write buffer to
+// the HDD. It returns the completion time for bookkeeping.
+func (r *Resource) ServeBackground(at, service Duration) Duration {
+	return r.Serve(at, service)
+}
+
+// BusyUntil reports the time at which the resource becomes idle.
+func (r *Resource) BusyUntil() Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.busyUntil
+}
+
+// BusyTime reports cumulative service time delivered by the resource.
+func (r *Resource) BusyTime() Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.busyTime
+}
+
+// Served reports how many requests the resource has completed.
+func (r *Resource) Served() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.served
+}
+
+// Reset returns the resource to idle at time zero.
+func (r *Resource) Reset() {
+	r.mu.Lock()
+	r.busyUntil, r.busyTime, r.served = 0, 0, 0
+	r.mu.Unlock()
+}
+
+// String implements fmt.Stringer for debugging.
+func (r *Resource) String() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return fmt.Sprintf("resource{busyUntil=%v busy=%v served=%d}", r.busyUntil, r.busyTime, r.served)
+}

@@ -1,0 +1,302 @@
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hstoragedb/internal/engine"
+	"hstoragedb/internal/engine/catalog"
+	"hstoragedb/internal/hybrid"
+)
+
+// Cardinalities per the TPC-H specification, scaled by SF.
+func cardinalities(sf float64) (suppliers, customers, parts, orders int64) {
+	suppliers = max64(10, int64(10000*sf))
+	customers = max64(30, int64(150000*sf))
+	parts = max64(40, int64(200000*sf))
+	orders = max64(100, int64(1500000*sf))
+	return
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Load generates and loads a TPC-H database at scale factor sf and builds
+// the nine indexes of Table 3. Loading runs through a scratch HDD-only
+// instance; its timing and statistics are irrelevant and discarded.
+func Load(sf float64) (*Dataset, error) {
+	db := engine.NewDatabase()
+	ds := &Dataset{DB: db, SF: sf}
+
+	for _, name := range TableNames() {
+		if _, err := db.CreateTable(name, Schemas()[name]); err != nil {
+			return nil, err
+		}
+	}
+
+	// Scratch loader instance: big buffer pool to make loading cheap.
+	inst, err := db.NewInstance(engine.InstanceConfig{
+		Storage:         hybrid.Config{Mode: hybrid.HDDOnly},
+		BufferPoolPages: 4096,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	if err := ds.loadRows(inst); err != nil {
+		return nil, err
+	}
+	for _, ix := range Indexes() {
+		if _, err := inst.BuildIndex(ix.Name, ix.Table, ix.Column); err != nil {
+			return nil, fmt.Errorf("tpch: building %s: %w", ix.Name, err)
+		}
+	}
+	return ds, nil
+}
+
+// loadRows fills all eight tables deterministically.
+func (ds *Dataset) loadRows(inst *engine.Instance) error {
+	suppliers, customers, parts, orders := cardinalities(ds.SF)
+	ds.Suppliers, ds.Customers, ds.Parts, ds.Orders = suppliers, customers, parts, orders
+
+	// region
+	if err := load(inst, "region", func(add func(catalog.Tuple) error) error {
+		for i, name := range regionNames {
+			if err := add(catalog.Tuple{
+				catalog.IntDatum(int64(i)),
+				catalog.StringDatum(name),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// nation
+	if err := load(inst, "nation", func(add func(catalog.Tuple) error) error {
+		for i, name := range nationNames {
+			if err := add(catalog.Tuple{
+				catalog.IntDatum(int64(i)),
+				catalog.StringDatum(name),
+				catalog.IntDatum(nationRegion[i]),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// supplier
+	rng := rand.New(rand.NewSource(7001))
+	if err := load(inst, "supplier", func(add func(catalog.Tuple) error) error {
+		for k := int64(1); k <= suppliers; k++ {
+			if err := add(catalog.Tuple{
+				catalog.IntDatum(k),
+				catalog.StringDatum(fmt.Sprintf("Supplier#%09d", k)),
+				catalog.IntDatum(rng.Int63n(25)),
+				catalog.FloatDatum(-999.99 + rng.Float64()*10998.98),
+				catalog.StringDatum(fmt.Sprintf("addr-%d", rng.Int63n(1_000_000))),
+				catalog.StringDatum(fmt.Sprintf("%02d-%07d", 10+rng.Int63n(25), rng.Int63n(10_000_000))),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// customer
+	rng = rand.New(rand.NewSource(7002))
+	if err := load(inst, "customer", func(add func(catalog.Tuple) error) error {
+		for k := int64(1); k <= customers; k++ {
+			nation := rng.Int63n(25)
+			if err := add(catalog.Tuple{
+				catalog.IntDatum(k),
+				catalog.StringDatum(fmt.Sprintf("Customer#%09d", k)),
+				catalog.IntDatum(nation),
+				catalog.StringDatum(segments[rng.Intn(len(segments))]),
+				catalog.FloatDatum(-999.99 + rng.Float64()*10998.98),
+				catalog.StringDatum(fmt.Sprintf("%02d-%07d", 10+nation, rng.Int63n(10_000_000))),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// part
+	rng = rand.New(rand.NewSource(7003))
+	if err := load(inst, "part", func(add func(catalog.Tuple) error) error {
+		for k := int64(1); k <= parts; k++ {
+			name := nameWords[rng.Intn(len(nameWords))] + " " + nameWords[rng.Intn(len(nameWords))] + " " +
+				nameWords[rng.Intn(len(nameWords))]
+			ptype := typeSyl1[rng.Intn(len(typeSyl1))] + " " + typeSyl2[rng.Intn(len(typeSyl2))] + " " +
+				typeSyl3[rng.Intn(len(typeSyl3))]
+			if err := add(catalog.Tuple{
+				catalog.IntDatum(k),
+				catalog.StringDatum(name),
+				catalog.StringDatum(fmt.Sprintf("Manufacturer#%d", 1+rng.Intn(5))),
+				catalog.StringDatum(brands[rng.Intn(len(brands))]),
+				catalog.StringDatum(ptype),
+				catalog.IntDatum(1 + rng.Int63n(50)),
+				catalog.StringDatum(containers[rng.Intn(len(containers))]),
+				catalog.FloatDatum(900 + float64(k%1000)/10),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// partsupp: 4 suppliers per part.
+	rng = rand.New(rand.NewSource(7004))
+	if err := load(inst, "partsupp", func(add func(catalog.Tuple) error) error {
+		for k := int64(1); k <= parts; k++ {
+			for s := 0; s < 4; s++ {
+				supp := (k+int64(s)*(suppliers/4+1))%suppliers + 1
+				if err := add(catalog.Tuple{
+					catalog.IntDatum(k),
+					catalog.IntDatum(supp),
+					catalog.IntDatum(1 + rng.Int63n(9999)),
+					catalog.FloatDatum(1 + rng.Float64()*999),
+				}); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// orders + lineitem together (lineitems belong to their order).
+	//
+	// Order keys are assigned through a permutation of [1, orders], the
+	// way dbgen scrambles o_orderkey: the heap position of an order (and
+	// of its lineitems) is then uncorrelated with its key, so index
+	// probes by orderkey generate genuinely random storage traffic
+	// rather than a disguised sequential pass.
+	rngO := rand.New(rand.NewSource(7005))
+	rngL := rand.New(rand.NewSource(7006))
+	perm := rand.New(rand.NewSource(7007)).Perm(int(orders))
+	ordersLoader, err := inst.NewLoader("orders")
+	if err != nil {
+		return err
+	}
+	lineLoader, err := inst.NewLoader("lineitem")
+	if err != nil {
+		return err
+	}
+	var lineitems int64
+	for k := int64(1); k <= orders; k++ {
+		o, lines := genOrder(rngO, rngL, int64(perm[k-1])+1, customers, parts, suppliers)
+		if _, err := ordersLoader.Add(o); err != nil {
+			return err
+		}
+		for _, l := range lines {
+			if _, err := lineLoader.Add(l); err != nil {
+				return err
+			}
+			lineitems++
+		}
+	}
+	if err := ordersLoader.Close(); err != nil {
+		return err
+	}
+	if err := lineLoader.Close(); err != nil {
+		return err
+	}
+	ds.Lineitems = lineitems
+	ds.NextOrderKey = orders + 1
+	return nil
+}
+
+// genOrder produces one order row plus its 1..7 lineitems.
+func genOrder(rngO, rngL *rand.Rand, key, customers, parts, suppliers int64) (catalog.Tuple, []catalog.Tuple) {
+	odate := StartDate + rngO.Int63n(EndDate-StartDate-121)
+	nlines := 1 + rngL.Int63n(7)
+	var total float64
+	lines := make([]catalog.Tuple, 0, nlines)
+	status := "O"
+	finished := 0
+	for ln := int64(1); ln <= nlines; ln++ {
+		qty := float64(1 + rngL.Int63n(50))
+		price := 901.0 + float64(rngL.Int63n(100000))/100 // ~extendedprice scale
+		disc := float64(rngL.Int63n(11)) / 100
+		tax := float64(rngL.Int63n(9)) / 100
+		ship := odate + 1 + rngL.Int63n(121)
+		commit := odate + 30 + rngL.Int63n(61)
+		receipt := ship + 1 + rngL.Int63n(30)
+		rf := "N"
+		ls := "O"
+		if receipt <= Day(1995, 6, 17) {
+			ls = "F"
+			finished++
+			if rngL.Intn(2) == 0 {
+				rf = "R"
+			} else {
+				rf = "A"
+			}
+		}
+		total += price * qty * (1 - disc)
+		lines = append(lines, catalog.Tuple{
+			catalog.IntDatum(key),
+			catalog.IntDatum(1 + rngL.Int63n(parts)),
+			catalog.IntDatum(1 + rngL.Int63n(suppliers)),
+			catalog.IntDatum(ln),
+			catalog.FloatDatum(qty),
+			catalog.FloatDatum(price * qty),
+			catalog.FloatDatum(disc),
+			catalog.FloatDatum(tax),
+			catalog.StringDatum(rf),
+			catalog.StringDatum(ls),
+			catalog.IntDatum(ship),
+			catalog.IntDatum(commit),
+			catalog.IntDatum(receipt),
+			catalog.StringDatum(shipmodes[rngL.Intn(len(shipmodes))]),
+		})
+	}
+	if finished == len(lines) {
+		status = "F"
+	} else if finished > 0 {
+		status = "P"
+	}
+	order := catalog.Tuple{
+		catalog.IntDatum(key),
+		catalog.IntDatum(1 + rngO.Int63n(customers)),
+		catalog.StringDatum(status),
+		catalog.FloatDatum(total),
+		catalog.IntDatum(odate),
+		catalog.StringDatum(priorities[rngO.Intn(len(priorities))]),
+		catalog.IntDatum(0),
+	}
+	return order, lines
+}
+
+// load runs fill against a fresh loader for the table.
+func load(inst *engine.Instance, table string, fill func(add func(catalog.Tuple) error) error) error {
+	l, err := inst.NewLoader(table)
+	if err != nil {
+		return err
+	}
+	if err := fill(func(t catalog.Tuple) error {
+		_, err := l.Add(t)
+		return err
+	}); err != nil {
+		return err
+	}
+	return l.Close()
+}

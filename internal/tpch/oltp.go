@@ -1,0 +1,191 @@
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hstoragedb/internal/engine"
+	"hstoragedb/internal/engine/btree"
+	"hstoragedb/internal/engine/catalog"
+	"hstoragedb/internal/engine/heap"
+	"hstoragedb/internal/engine/policy"
+)
+
+// OLTP is the paper's stated future work (Section 8: "We are currently
+// extending hStorage-DB for OLTP workloads"): a small transaction mix
+// over the TPC-H schema exercising exactly the request classes the rules
+// govern —
+//
+//   - NewOrder: insert one order with its lineitems and maintain the
+//     indexes (Rule 4 update traffic into the write buffer),
+//   - OrderStatus: point-read an order and its lineitems through the
+//     orderkey indexes (Rule 2 random traffic),
+//   - Payment: read a customer and an order, then rewrite the order's
+//     total price in place (random read + update write).
+//
+// The mix is 45% NewOrder / 45% Payment / 10% OrderStatus, roughly
+// TPC-C's write-heavy balance.
+type OLTP struct {
+	ds   *Dataset
+	rng  *rand.Rand
+	rngL *rand.Rand
+
+	ordersInfo *catalog.TableInfo
+	lineInfo   *catalog.TableInfo
+	custInfo   *catalog.TableInfo
+
+	ordersFile *heap.File
+	lineFile   *heap.File
+	custFile   *heap.File
+
+	// Stats
+	NewOrders     int64
+	Payments      int64
+	OrderStatuses int64
+}
+
+// NewOLTP builds a transaction driver over a loaded dataset. Seed varies
+// the key sequence per stream.
+func (ds *Dataset) NewOLTP(seed int64) *OLTP {
+	return &OLTP{
+		ds:         ds,
+		rng:        rand.New(rand.NewSource(31000 + seed)),
+		rngL:       rand.New(rand.NewSource(32000 + seed)),
+		ordersInfo: ds.DB.Cat.MustTable("orders"),
+		lineInfo:   ds.DB.Cat.MustTable("lineitem"),
+		custInfo:   ds.DB.Cat.MustTable("customer"),
+		ordersFile: heap.NewFile(ds.DB.Cat.MustTable("orders").ID, ds.DB.Cat.MustTable("orders").Schema, policy.Table),
+		lineFile:   heap.NewFile(ds.DB.Cat.MustTable("lineitem").ID, ds.DB.Cat.MustTable("lineitem").Schema, policy.Table),
+		custFile:   heap.NewFile(ds.DB.Cat.MustTable("customer").ID, ds.DB.Cat.MustTable("customer").Schema, policy.Table),
+	}
+}
+
+// Run executes n transactions on the session and returns the number of
+// each kind executed.
+func (o *OLTP) Run(sess *engine.Session, n int) error {
+	for i := 0; i < n; i++ {
+		var err error
+		switch r := o.rng.Intn(100); {
+		case r < 45:
+			err = o.newOrder(sess)
+		case r < 90:
+			err = o.payment(sess)
+		default:
+			err = o.orderStatus(sess)
+		}
+		if err != nil {
+			return fmt.Errorf("tpch: oltp txn %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// newOrder appends one order + lineitems and maintains the indexes.
+func (o *OLTP) newOrder(sess *engine.Session) error {
+	inst := sess.Instance()
+	key := o.ds.NextOrderKey
+	o.ds.NextOrderKey++
+	order, lines := genOrder(o.rng, o.rngL, key, o.ds.Customers, o.ds.Parts, o.ds.Suppliers)
+
+	ordersApp := o.ordersFile.NewAppender(&sess.Clk, inst.Pool, o.ds.DB.Store.Pages(o.ordersInfo.ID))
+	rid, err := ordersApp.Append(order)
+	if err != nil {
+		return err
+	}
+	if err := ordersApp.Close(); err != nil {
+		return err
+	}
+	ixOrders := btree.Open(o.ds.DB.Cat.MustIndex("idx_orders_orderkey").ID, inst.Pool)
+	if err := ixOrders.Insert(&sess.Clk, btree.Entry{Key: key, RID: rid}, 0); err != nil {
+		return err
+	}
+
+	lineApp := o.lineFile.NewAppender(&sess.Clk, inst.Pool, o.ds.DB.Store.Pages(o.lineInfo.ID))
+	ixLineOK := btree.Open(o.ds.DB.Cat.MustIndex("idx_lineitem_orderkey").ID, inst.Pool)
+	ixLinePK := btree.Open(o.ds.DB.Cat.MustIndex("idx_lineitem_partkey").ID, inst.Pool)
+	for _, l := range lines {
+		lrid, err := lineApp.Append(l)
+		if err != nil {
+			return err
+		}
+		if err := ixLineOK.Insert(&sess.Clk, btree.Entry{Key: key, RID: lrid}, 0); err != nil {
+			return err
+		}
+		if err := ixLinePK.Insert(&sess.Clk, btree.Entry{Key: l[1].I, RID: lrid}, 0); err != nil {
+			return err
+		}
+	}
+	if err := lineApp.Close(); err != nil {
+		return err
+	}
+	o.NewOrders++
+	return nil
+}
+
+// orderStatus reads one order and its lineitems through the indexes.
+func (o *OLTP) orderStatus(sess *engine.Session) error {
+	inst := sess.Instance()
+	key := 1 + o.rng.Int63n(o.ds.NextOrderKey-1)
+	ixOrders := btree.Open(o.ds.DB.Cat.MustIndex("idx_orders_orderkey").ID, inst.Pool)
+	rids, err := ixOrders.Lookup(&sess.Clk, key, 0)
+	if err != nil {
+		return err
+	}
+	for _, rid := range rids {
+		if _, err := o.ordersFile.Fetch(&sess.Clk, inst.Pool, rid, 0); err != nil {
+			return err
+		}
+	}
+	ixLineOK := btree.Open(o.ds.DB.Cat.MustIndex("idx_lineitem_orderkey").ID, inst.Pool)
+	lrids, err := ixLineOK.Lookup(&sess.Clk, key, 0)
+	if err != nil {
+		return err
+	}
+	for _, rid := range lrids {
+		if _, err := o.lineFile.Fetch(&sess.Clk, inst.Pool, rid, 0); err != nil {
+			return err
+		}
+	}
+	o.OrderStatuses++
+	return nil
+}
+
+// payment reads a customer and an order, then rewrites the order row.
+func (o *OLTP) payment(sess *engine.Session) error {
+	inst := sess.Instance()
+	custKey := 1 + o.rng.Int63n(o.ds.Customers)
+	ixCust := btree.Open(o.ds.DB.Cat.MustIndex("idx_customer_custkey").ID, inst.Pool)
+	crids, err := ixCust.Lookup(&sess.Clk, custKey, 0)
+	if err != nil {
+		return err
+	}
+	for _, rid := range crids {
+		if _, err := o.custFile.Fetch(&sess.Clk, inst.Pool, rid, 0); err != nil {
+			return err
+		}
+	}
+
+	key := 1 + o.rng.Int63n(o.ds.NextOrderKey-1)
+	ixOrders := btree.Open(o.ds.DB.Cat.MustIndex("idx_orders_orderkey").ID, inst.Pool)
+	rids, err := ixOrders.Lookup(&sess.Clk, key, 0)
+	if err != nil {
+		return err
+	}
+	totalCol := o.ordersInfo.Schema.MustCol("o_totalprice")
+	for _, rid := range rids {
+		row, err := o.ordersFile.Fetch(&sess.Clk, inst.Pool, rid, 0)
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			continue
+		}
+		updated := row.Clone()
+		updated[totalCol].F += 1 + o.rng.Float64()*100
+		if err := o.ordersFile.Update(&sess.Clk, inst.Pool, rid, updated, 0); err != nil {
+			return err
+		}
+	}
+	o.Payments++
+	return nil
+}

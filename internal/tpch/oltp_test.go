@@ -1,0 +1,72 @@
+package tpch
+
+import (
+	"testing"
+
+	"hstoragedb/internal/dss"
+	"hstoragedb/internal/engine/policy"
+	"hstoragedb/internal/hybrid"
+)
+
+func TestOLTPRuns(t *testing.T) {
+	ds := loadSmall(t)
+	inst := smallInstance(t, ds, hybrid.HStorage)
+	sess := inst.NewSession()
+	inst.ResetStats()
+
+	driver := ds.NewOLTP(1)
+	if err := driver.Run(sess, 200); err != nil {
+		t.Fatal(err)
+	}
+	if driver.NewOrders == 0 || driver.Payments == 0 || driver.OrderStatuses == 0 {
+		t.Fatalf("mix incomplete: %d/%d/%d", driver.NewOrders, driver.Payments, driver.OrderStatuses)
+	}
+	if err := inst.Pool.FlushAll(&sess.Clk); err != nil {
+		t.Fatal(err)
+	}
+
+	// The mix must exercise both Rule 2 (random reads) and Rule 4
+	// (write-buffered updates).
+	ts := inst.Mgr.TypeStats()
+	if ts[policy.RandomRequest].Blocks == 0 {
+		t.Error("no random traffic from the OLTP mix")
+	}
+	if ts[policy.UpdateRequest].Blocks == 0 {
+		t.Error("no update traffic from the OLTP mix")
+	}
+	snap := inst.Sys.Stats()
+	if snap.Class(dss.ClassWriteBuffer).WriteBlocks == 0 {
+		t.Error("updates did not reach the write buffer")
+	}
+}
+
+// TestOLTPWriteBufferBenefit verifies the Rule 4 rationale: with a write
+// buffer, the OLTP mix completes faster than with updates forced straight
+// to the HDD (b = 0).
+func TestOLTPWriteBufferBenefit(t *testing.T) {
+	run := func(frac float64) int64 {
+		ds := loadSmall(t)
+		space := dss.DefaultPolicySpace()
+		space.WriteBufferFrac = frac
+		inst, err := ds.DB.NewInstance(instCfg(hybrid.Config{
+			Mode:        hybrid.HStorage,
+			CacheBlocks: 1024,
+			Policy:      space,
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess := inst.NewSession()
+		driver := ds.NewOLTP(7)
+		if err := driver.Run(sess, 300); err != nil {
+			t.Fatal(err)
+		}
+		inst.Mgr.Wait(&sess.Clk)
+		return int64(sess.Clk.Now())
+	}
+	with := run(0.20)
+	without := run(0.0)
+	if with >= without {
+		t.Fatalf("write buffer did not help: b=20%% took %d, b=0 took %d", with, without)
+	}
+}

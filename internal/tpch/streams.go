@@ -1,0 +1,31 @@
+package tpch
+
+// PowerOrder is the query ordering of TPC-H power-test stream 0 (the
+// "randomly ordered" sequence of Section 6.3.4 / Figure 11). RF1 runs
+// before the sequence and RF2 after it.
+func PowerOrder() []int {
+	return []int{14, 2, 9, 20, 6, 17, 18, 8, 21, 13, 3, 22, 16, 4, 11, 15, 1, 10, 19, 5, 7, 12}
+}
+
+// ThroughputOrders returns the query permutations of throughput-test
+// streams 1..n (TPC-H spec Appendix A ordering table).
+func ThroughputOrders(n int) [][]int {
+	all := [][]int{
+		{21, 3, 18, 5, 11, 7, 6, 20, 17, 12, 16, 15, 13, 10, 2, 8, 14, 19, 9, 22, 1, 4},
+		{6, 17, 14, 16, 19, 10, 9, 2, 15, 8, 5, 22, 12, 7, 13, 18, 1, 4, 20, 3, 21, 11},
+		{8, 5, 4, 6, 17, 7, 1, 18, 22, 14, 9, 10, 15, 11, 20, 2, 21, 19, 13, 16, 12, 3},
+		{5, 21, 14, 19, 15, 17, 12, 6, 4, 9, 8, 16, 11, 2, 10, 18, 1, 13, 7, 22, 3, 20},
+		{21, 15, 4, 6, 7, 16, 19, 18, 14, 22, 11, 13, 3, 1, 2, 5, 8, 20, 12, 17, 10, 9},
+	}
+	if n > len(all) {
+		n = len(all)
+	}
+	return all[:n]
+}
+
+// ShortQueries lists the queries Figure 11a plots separately (the rest go
+// to Figure 11b). The paper splits by execution time; we follow the same
+// split used for its readability.
+func ShortQueries() map[int]bool {
+	return map[int]bool{2: true, 4: true, 6: true, 11: true, 12: true, 13: true, 14: true, 15: true, 16: true, 20: true, 22: true}
+}
