@@ -1,0 +1,3 @@
+module hstoragedb
+
+go 1.22

@@ -16,8 +16,13 @@
 //   - a deterministic scaled-down TPC-H workload: generator, the nine
 //     indexes of Table 3, all 22 queries, RF1/RF2, power and throughput
 //     test drivers,
+//   - the OLTP extension of Section 8: a write-ahead log whose segment
+//     I/O carries a pinned highest-priority log class (write-through,
+//     non-evictable), Begin/Commit/Abort transaction sessions with group
+//     commit, checkpoints, crash injection and redo-only recovery,
 //   - experiment drivers that regenerate every figure and table of
-//     Section 6.
+//     Section 6, plus the transactional OLTP experiment (commit
+//     throughput and recovery time across all four configurations).
 //
 // # Quick start
 //
@@ -40,8 +45,11 @@ import (
 	"hstoragedb/internal/engine/catalog"
 	"hstoragedb/internal/engine/exec"
 	"hstoragedb/internal/engine/policy"
+	"hstoragedb/internal/engine/txn"
+	"hstoragedb/internal/engine/wal"
 	"hstoragedb/internal/experiments"
 	"hstoragedb/internal/hybrid"
+	"hstoragedb/internal/simclock"
 	"hstoragedb/internal/tpch"
 )
 
@@ -160,14 +168,69 @@ func NewTableHandle(info *catalog.TableInfo) *TableHandle { return exec.NewTable
 
 // Request classification surface (Figure 4's request types).
 type (
-	// RequestType is one of sequential / random / temporary / update.
+	// RequestType is one of sequential / random / temporary / update /
+	// log.
 	RequestType = policy.RequestType
 	// SemanticTag is the semantic information attached to a page request.
 	SemanticTag = policy.Tag
 )
 
-// RequestTypes lists the classes Figure 4 plots.
+// RequestTypes lists the classes Figure 4 plots, plus the log class of
+// the OLTP extension.
 func RequestTypes() []RequestType { return policy.RequestTypes() }
+
+// ClassLog is the pinned highest-priority class carried by write-ahead
+// log traffic (Section 8's OLTP extension): served write-through from the
+// cache device and never evicted, only TRIMmed at checkpoint truncation.
+const ClassLog = dss.ClassLog
+
+// Transactions and durability: the OLTP extension of Section 8. A
+// WALManager owns LSN-stamped segment files laid out on the simulated
+// device and classified under ClassLog; a TxnManager wraps an instance
+// with Begin/Commit/Abort sessions, group commit, checkpoints, crash
+// injection and ARIES-style redo-only recovery.
+type (
+	// WALConfig sizes the write-ahead log (segment pages, group-commit
+	// window, reserved object range).
+	WALConfig = wal.Config
+	// WALManager is the log manager.
+	WALManager = wal.Manager
+	// WALRecord is one LSN-stamped log record.
+	WALRecord = wal.Record
+	// RecoveryStats summarizes one crash recovery.
+	RecoveryStats = wal.RecoveryStats
+	// TxnManager coordinates transactions over one instance and one log.
+	TxnManager = txn.Manager
+	// Txn is one Begin/Commit/Abort transaction session.
+	Txn = txn.Txn
+)
+
+// ErrCrashed is returned by transactions on a crash-injected manager.
+var ErrCrashed = txn.ErrCrashed
+
+// DefaultWALConfig returns the log sizing used by tests and experiments.
+func DefaultWALConfig() WALConfig { return wal.DefaultConfig() }
+
+// NewWAL creates a fresh write-ahead log for an instance. Use Recover if
+// the database already holds one (e.g. after a crash).
+func NewWAL(sess *Session, cfg WALConfig) (*WALManager, error) {
+	return wal.New(&sess.Clk, sess.Instance().Mgr, cfg)
+}
+
+// Recover replays an existing WAL on a freshly attached instance: the
+// committed transactions' effects are redone in LSN order, losers are
+// discarded. It returns the recovered log manager ready for new appends.
+func Recover(sess *Session, cfg WALConfig) (*WALManager, *RecoveryStats, error) {
+	return wal.Recover(&sess.Clk, sess.Instance().Mgr, cfg)
+}
+
+// NewTxnManager wraps an instance and its log with transaction sessions.
+func NewTxnManager(inst *Instance, log *WALManager) *TxnManager {
+	return txn.NewManager(inst, log)
+}
+
+// Clock is the virtual clock each session advances.
+type Clock = simclock.Clock
 
 // TPC-H workload.
 type (

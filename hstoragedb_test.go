@@ -102,7 +102,7 @@ func TestPublicTPCH(t *testing.T) {
 	if len(hstoragedb.PowerOrder()) != 22 {
 		t.Fatal("power order")
 	}
-	if len(hstoragedb.RequestTypes()) != 4 {
+	if len(hstoragedb.RequestTypes()) != 5 {
 		t.Fatal("request types")
 	}
 }

@@ -35,6 +35,15 @@ const (
 	// an update request wins cache space over requests of any other
 	// priority, within the write-buffer budget b.
 	ClassWriteBuffer Class = -1
+
+	// ClassLog is the pinned highest-priority class carried by write-ahead
+	// log traffic (the OLTP extension of Section 8). Log writes are the
+	// most latency-critical requests a DBMS issues: a transaction cannot
+	// commit before its log records are durable. A classification-aware
+	// storage system serves them write-through from the cache device and
+	// never evicts them; log blocks leave the cache only through TRIM when
+	// a checkpoint truncates the log.
+	ClassLog Class = -2
 )
 
 // String implements fmt.Stringer.
@@ -44,6 +53,8 @@ func (c Class) String() string {
 		return "none"
 	case ClassWriteBuffer:
 		return "write-buffer"
+	case ClassLog:
+		return "log"
 	default:
 		return fmt.Sprintf("prio%d", int(c))
 	}
@@ -104,7 +115,7 @@ func (p PolicySpace) Eviction() Class { return Class(p.N) }
 // NonCaching reports whether class c is at or beyond the non-caching
 // threshold t, i.e. blocks accessed with c are never admitted.
 func (p PolicySpace) NonCaching(c Class) bool {
-	return c != ClassWriteBuffer && c != ClassNone && int(c) >= p.T
+	return c != ClassWriteBuffer && c != ClassLog && c != ClassNone && int(c) >= p.T
 }
 
 // Kind distinguishes data requests from TRIM commands.

@@ -9,6 +9,7 @@
 package bufferpool
 
 import (
+	"errors"
 	"sync"
 
 	"hstoragedb/internal/engine/policy"
@@ -30,8 +31,21 @@ type entry struct {
 	dirty   bool
 	content policy.ContentType // needed to classify the write-back
 
+	// pins counts active transactions holding the frame under the
+	// no-steal policy: a pinned frame is never evicted or flushed, so an
+	// uncommitted page can never reach the storage system before its log
+	// records are durable.
+	pins int
+
 	prev, next *entry
 }
+
+// CaptureFunc observes page installs while a transaction is active. It is
+// called by Put under the pool mutex with the frame's previous content
+// (nil if the page had no frame) and dirty flag, plus the newly installed
+// data; the callback must not call back into the pool. Returning true
+// pins the frame until Unpin or Restore.
+type CaptureFunc func(tag policy.Tag, page int64, pre []byte, preDirty bool, post []byte) (pin bool)
 
 // Stats are cumulative buffer pool counters.
 type Stats struct {
@@ -46,10 +60,11 @@ type Pool struct {
 	mgr *storagemgr.Manager
 	cap int
 
-	mu    sync.Mutex
-	table map[key]*entry
-	head  entry // sentinel of the LRU list, head.next = MRU
-	stats Stats
+	mu      sync.Mutex
+	table   map[key]*entry
+	head    entry // sentinel of the LRU list, head.next = MRU
+	stats   Stats
+	capture CaptureFunc
 }
 
 // New creates a pool with capacity `frames` pages over the given storage
@@ -85,18 +100,25 @@ func (p *Pool) touch(e *entry) {
 	p.pushFront(e)
 }
 
-// evictOne writes back the LRU page if dirty and frees its frame. Caller
-// holds p.mu; the mutex is released around the I/O.
-func (p *Pool) evictOne(clk *simclock.Clock) error {
+// evictOne writes back the least recently used unpinned page if dirty and
+// frees its frame. It reports whether a frame was freed: pinned frames
+// (dirtied by an uncommitted transaction) are skipped, and when every
+// frame is pinned the pool temporarily exceeds its capacity rather than
+// steal an uncommitted page. Caller holds p.mu; the mutex is released
+// around the I/O.
+func (p *Pool) evictOne(clk *simclock.Clock) (bool, error) {
 	lru := p.head.prev
+	for lru != &p.head && lru.pins > 0 {
+		lru = lru.prev
+	}
 	if lru == &p.head {
-		return nil
+		return false, nil
 	}
 	p.unlink(lru)
 	delete(p.table, lru.key)
 	p.stats.Evictions++
 	if !lru.dirty {
-		return nil
+		return true, nil
 	}
 	p.stats.WriteBack++
 	tag := policy.Tag{Object: lru.key.obj, Content: lru.content}
@@ -104,10 +126,31 @@ func (p *Pool) evictOne(clk *simclock.Clock) error {
 	pageNo := lru.key.page
 	p.mu.Unlock()
 	// Dirty pages are flushed by the background writer: the flush
-	// occupies the storage system but the query does not wait for it.
+	// occupies the storage system but the query does not wait for it. A
+	// write-back can race the deletion of its object (another stream just
+	// dropped the temp file this frame belongs to); the data is dead, so
+	// the write is simply discarded.
 	err := p.mgr.WritePageBackground(clk, tag, pageNo, data)
+	if errors.Is(err, pagestore.ErrUnknownObject) {
+		err = nil
+	}
 	p.mu.Lock()
-	return err
+	return true, err
+}
+
+// makeRoom evicts until a frame is free or only pinned frames remain.
+// Caller holds p.mu.
+func (p *Pool) makeRoom(clk *simclock.Clock) error {
+	for len(p.table) >= p.cap {
+		ok, err := p.evictOne(clk)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+	return nil
 }
 
 // Get returns the content of (tag.Object, page), fetching it through the
@@ -125,11 +168,9 @@ func (p *Pool) Get(clk *simclock.Clock, tag policy.Tag, page int64) ([]byte, err
 		return data, nil
 	}
 	p.stats.Misses++
-	for len(p.table) >= p.cap {
-		if err := p.evictOne(clk); err != nil {
-			p.mu.Unlock()
-			return nil, err
-		}
+	if err := p.makeRoom(clk); err != nil {
+		p.mu.Unlock()
+		return nil, err
 	}
 	p.mu.Unlock()
 
@@ -159,6 +200,9 @@ func (p *Pool) Put(clk *simclock.Clock, tag policy.Tag, page int64, data []byte)
 	k := key{obj: tag.Object, page: page}
 	p.mu.Lock()
 	if e, ok := p.table[k]; ok {
+		if p.capture != nil && p.capture(tag, page, e.data, e.dirty, data) {
+			e.pins++
+		}
 		e.data = data
 		e.dirty = true
 		e.content = tag.Content
@@ -166,25 +210,28 @@ func (p *Pool) Put(clk *simclock.Clock, tag policy.Tag, page int64, data []byte)
 		p.mu.Unlock()
 		return nil
 	}
-	for len(p.table) >= p.cap {
-		if err := p.evictOne(clk); err != nil {
-			p.mu.Unlock()
-			return err
-		}
+	if err := p.makeRoom(clk); err != nil {
+		p.mu.Unlock()
+		return err
 	}
 	e := &entry{key: k, data: data, dirty: true, content: tag.Content}
+	if p.capture != nil && p.capture(tag, page, nil, false, data) {
+		e.pins++
+	}
 	p.table[k] = e
 	p.pushFront(e)
 	p.mu.Unlock()
 	return nil
 }
 
-// FlushAll writes back every dirty frame (end-of-stream checkpoint).
+// FlushAll writes back every dirty unpinned frame (end-of-stream
+// checkpoint). Pinned frames belong to uncommitted transactions and stay
+// in memory: their durability is the WAL's job.
 func (p *Pool) FlushAll(clk *simclock.Clock) error {
 	p.mu.Lock()
 	dirty := make([]*entry, 0)
 	for _, e := range p.table {
-		if e.dirty {
+		if e.dirty && e.pins == 0 {
 			dirty = append(dirty, e)
 		}
 	}
@@ -192,6 +239,9 @@ func (p *Pool) FlushAll(clk *simclock.Clock) error {
 	for _, e := range dirty {
 		tag := policy.Tag{Object: e.key.obj, Content: e.content}
 		if err := p.mgr.WritePage(clk, tag, e.key.page, e.data); err != nil {
+			if errors.Is(err, pagestore.ErrUnknownObject) {
+				continue // the object was dropped while we flushed
+			}
 			return err
 		}
 		p.mu.Lock()
@@ -211,6 +261,50 @@ func (p *Pool) Invalidate(obj pagestore.ObjectID) {
 			p.unlink(e)
 			delete(p.table, k)
 		}
+	}
+	p.mu.Unlock()
+}
+
+// SetCapture installs (or, with nil, removes) the transaction capture
+// hook. With mutating transactions serialized by the transaction manager,
+// at most one capture is active at a time.
+func (p *Pool) SetCapture(f CaptureFunc) {
+	p.mu.Lock()
+	p.capture = f
+	p.mu.Unlock()
+}
+
+// Unpin releases one transaction pin on a frame (commit path: the page
+// stays dirty and is flushed lazily now that its log records are
+// durable). Unknown pages are ignored.
+func (p *Pool) Unpin(obj pagestore.ObjectID, page int64) {
+	p.mu.Lock()
+	if e, ok := p.table[key{obj: obj, page: page}]; ok && e.pins > 0 {
+		e.pins--
+	}
+	p.mu.Unlock()
+}
+
+// Restore rewinds a frame to its pre-transaction content and releases the
+// pin (abort path). pre == nil means the page had no frame before the
+// transaction touched it: the frame is dropped without write-back, so the
+// storage system never sees the aborted content.
+func (p *Pool) Restore(obj pagestore.ObjectID, page int64, pre []byte, preDirty bool) {
+	p.mu.Lock()
+	e, ok := p.table[key{obj: obj, page: page}]
+	if !ok {
+		p.mu.Unlock()
+		return
+	}
+	if e.pins > 0 {
+		e.pins--
+	}
+	if pre == nil {
+		p.unlink(e)
+		delete(p.table, e.key)
+	} else {
+		e.data = pre
+		e.dirty = preDirty
 	}
 	p.mu.Unlock()
 }

@@ -46,6 +46,9 @@ type InstanceConfig struct {
 	// DisableTrim suppresses TRIM on temp-file deletion (ablation: the
 	// legacy file-system behaviour of Section 4.2.3).
 	DisableTrim bool
+	// DisableLogClass strips the log classification from WAL traffic
+	// (ablation: log writes are delivered as ordinary Rule 4 updates).
+	DisableLogClass bool
 }
 
 // DefaultInstanceConfig returns a laptop-scale configuration: hStorage
@@ -92,6 +95,7 @@ func (db *Database) NewInstance(cfg InstanceConfig) (*Instance, error) {
 	}
 	table := policy.NewAssignmentTable(space)
 	table.DisableRule5 = cfg.DisableRule5
+	table.DisableLogClass = cfg.DisableLogClass
 	mgr := storagemgr.New(db.Store, sys, table)
 	mgr.DisableTrim = cfg.DisableTrim
 	pool := bufferpool.New(mgr, cfg.BufferPoolPages)
@@ -285,3 +289,10 @@ func (inst *Instance) ResetStats() {
 
 // DropBufferPool empties the buffer pool without write-back (cold start).
 func (inst *Instance) DropBufferPool() { inst.Pool.DropAll() }
+
+// Crash simulates killing the instance: every volatile page (the buffer
+// pool, including pinned uncommitted pages) is discarded without
+// write-back. The page store — the durable medium — survives; a fresh
+// instance attached to the same Database plays the role of the restarted
+// server and recovers from the WAL.
+func (inst *Instance) Crash() { inst.Pool.DropAll() }

@@ -95,11 +95,17 @@ func (a *Appender) Append(t catalog.Tuple) (catalog.RID, error) {
 	return rid, nil
 }
 
-// flushPage writes the current page through the buffer pool.
+// flushPage writes the current page through the buffer pool and extends
+// the file's logical size, so a later appender starts past this page even
+// while it is still only pool-resident (otherwise two appends between
+// write-backs would hand out the same RIDs twice).
 func (a *Appender) flushPage() error {
 	binary.LittleEndian.PutUint16(a.buf[:2], a.count)
 	tag := policy.Tag{Object: a.f.Object, Content: a.f.Content}
 	if err := a.pool.Put(a.clk, tag, a.page, a.buf); err != nil {
+		return err
+	}
+	if err := a.pool.Manager().Store().Extend(a.f.Object, a.page+1); err != nil {
 		return err
 	}
 	a.page++
@@ -241,7 +247,12 @@ func (f *File) Fetch(clk *simclock.Clock, pool *bufferpool.Pool, rid catalog.RID
 		return nil, err
 	}
 	if int(rid.Slot) >= len(tuples) {
-		return nil, fmt.Errorf("heap: rid %v slot out of range (%d tuples)", rid, len(tuples))
+		// Revalidation: an index entry can transiently point at a slot
+		// that is not (or no longer) materialized on the page — e.g. a
+		// probe racing an updater, or a post-crash scan over a file
+		// extension whose content died with the buffer pool. The row is
+		// simply not visible.
+		return nil, nil
 	}
 	// A nil tuple is a tombstone (row deleted, e.g. by a concurrent RF2);
 	// callers treat it as "no longer visible" and skip.

@@ -22,6 +22,10 @@ const (
 	Index
 	// Temp is temporary data generated during query execution.
 	Temp
+	// Log is write-ahead-log data: segment files and WAL metadata. Log
+	// writes gate transaction commit, making them the most
+	// latency-critical request class of the OLTP extension (Section 8).
+	Log
 )
 
 // String implements fmt.Stringer.
@@ -33,6 +37,8 @@ func (c ContentType) String() string {
 		return "index"
 	case Temp:
 		return "temp"
+	case Log:
+		return "log"
 	}
 	return fmt.Sprintf("content(%d)", int(c))
 }
@@ -58,7 +64,8 @@ func (p Pattern) String() string {
 }
 
 // RequestType is the classification of Section 4.1: (1) sequential,
-// (2) random, (3) temporary data, (4) update.
+// (2) random, (3) temporary data, (4) update — extended with (5) log,
+// the request class the OLTP workload of Section 8 adds.
 type RequestType int
 
 const (
@@ -66,6 +73,7 @@ const (
 	RandomRequest
 	TempRequest
 	UpdateRequest
+	LogRequest
 )
 
 // String implements fmt.Stringer.
@@ -79,13 +87,16 @@ func (t RequestType) String() string {
 		return "temporary"
 	case UpdateRequest:
 		return "update"
+	case LogRequest:
+		return "log"
 	}
 	return fmt.Sprintf("reqtype(%d)", int(t))
 }
 
-// RequestTypes lists the classes Figure 4 plots.
+// RequestTypes lists the classes Figure 4 plots, plus the log class of
+// the OLTP extension.
 func RequestTypes() []RequestType {
-	return []RequestType{SequentialRequest, RandomRequest, TempRequest, UpdateRequest}
+	return []RequestType{SequentialRequest, RandomRequest, TempRequest, UpdateRequest, LogRequest}
 }
 
 // Tag is the semantic information the buffer pool passes along with each
@@ -106,6 +117,8 @@ type Tag struct {
 // Type derives the request type of Section 4.1 from a tag.
 func (t Tag) Type() RequestType {
 	switch {
+	case t.Content == Log:
+		return LogRequest
 	case t.Content == Temp:
 		return TempRequest
 	case t.Update:
@@ -162,6 +175,12 @@ type AssignmentTable struct {
 	// "non-deterministic priority assignment" the paper warns about.
 	// Used by the ablation benchmarks.
 	DisableRule5 bool
+
+	// DisableLogClass, when set, strips the log classification: WAL
+	// traffic is delivered as ordinary update traffic (Rule 4), the way a
+	// classification-unaware storage manager would emit it. Used by the
+	// OLTP ablation experiment.
+	DisableLogClass bool
 }
 
 // NewAssignmentTable builds an assignment table over a fresh registry.
@@ -177,8 +196,16 @@ func NewAssignmentTable(space dss.PolicySpace) *AssignmentTable {
 //	Rule 4: update                -> write buffer
 //	Rule 5: random (concurrent)   -> per-object highest priority from the
 //	                                 global registry
+//	Log:    WAL traffic           -> pinned highest-priority log class
 func (a *AssignmentTable) Classify(tag Tag) dss.Class {
 	switch tag.Type() {
+	case LogRequest:
+		if a.DisableLogClass {
+			// Ablation: log writes are indistinguishable from ordinary
+			// update traffic.
+			return dss.ClassWriteBuffer
+		}
+		return dss.ClassLog
 	case TempRequest:
 		return a.Space.Temporary()
 	case UpdateRequest:

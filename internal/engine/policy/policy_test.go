@@ -217,7 +217,7 @@ func TestStringers(t *testing.T) {
 	if Sequential.String() != "sequential" || Random.String() != "random" {
 		t.Fatal("pattern strings")
 	}
-	if len(RequestTypes()) != 4 {
+	if len(RequestTypes()) != 5 {
 		t.Fatal("request type list")
 	}
 }

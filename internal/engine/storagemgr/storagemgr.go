@@ -126,7 +126,9 @@ func (m *Manager) writePage(clk *simclock.Clock, tag policy.Tag, page int64, dat
 		return 0, err
 	}
 	writeTag := tag
-	if writeTag.Content != policy.Temp {
+	if writeTag.Content != policy.Temp && writeTag.Content != policy.Log {
+		// Temporary data keeps its Rule 3 class; log segments keep the
+		// pinned log class; everything else written back is an update.
 		writeTag.Update = true
 	}
 	class := m.table.Classify(writeTag)

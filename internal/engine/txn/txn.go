@@ -1,0 +1,320 @@
+// Package txn adds Begin/Commit/Abort transaction sessions — the OLTP
+// extension of Section 8 — on top of the engine and the write-ahead log.
+//
+// The design is deliberately simple and matches the WAL's redo-only
+// recovery contract:
+//
+//   - Mutating transactions are serialized by the manager (the simulated
+//     concurrency of interest is device contention between streams, not
+//     row-level locking); read-only transactions run lock-free.
+//   - While a mutating transaction runs, a buffer pool capture hook
+//     records, for every page it installs, the pre-image (for abort) and
+//     the post-image (for the WAL), and pins the frame: the no-steal
+//     policy that guarantees uncommitted pages never reach the storage
+//     system.
+//   - Commit appends one LSN-stamped page record per captured write plus
+//     a commit record, then forces the log through the group-commit
+//     window. Only after the force are the frames unpinned for lazy
+//     write-back.
+//   - Abort restores the pre-images in reverse order; nothing needs
+//     undoing on disk because nothing uncommitted ever got there.
+//
+// The package also provides the crash-injection harness: CrashAtCommit
+// arms a simulated kill at the n-th commit — the victim's page records
+// reach the log but its commit record does not — and Crash drops the
+// instance's volatile state so a fresh instance can exercise recovery.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"hstoragedb/internal/engine"
+	"hstoragedb/internal/engine/policy"
+	"hstoragedb/internal/engine/wal"
+	"hstoragedb/internal/pagestore"
+)
+
+// ErrCrashed is returned by operations on a manager whose instance has
+// been killed by the crash-injection harness.
+var ErrCrashed = errors.New("txn: simulated crash")
+
+// Manager coordinates transactions over one engine instance and one log.
+type Manager struct {
+	inst *engine.Instance
+	log  *wal.Manager
+
+	mu       sync.Mutex // serializes mutating transactions and checkpoints
+	commitMu sync.Mutex // orders commit flushes against checkpoints
+
+	commits int64
+	aborts  int64
+
+	crashAtCommit int64 // 1-based commit ordinal to kill at; 0 = disarmed
+	dead          bool
+}
+
+// NewManager builds a transaction manager over an instance and its log.
+func NewManager(inst *engine.Instance, log *wal.Manager) *Manager {
+	return &Manager{inst: inst, log: log}
+}
+
+// WAL exposes the log manager.
+func (m *Manager) WAL() *wal.Manager { return m.log }
+
+// Commits reports how many transactions have committed.
+func (m *Manager) Commits() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.commits
+}
+
+// Aborts reports how many transactions have rolled back.
+func (m *Manager) Aborts() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.aborts
+}
+
+// CrashAtCommit arms the crash-injection harness: the n-th commit (counted
+// from the next one) writes its page records to the log but dies before
+// its commit record, and every later operation fails with ErrCrashed.
+// n <= 0 disarms.
+func (m *Manager) CrashAtCommit(n int64) {
+	m.mu.Lock()
+	if n <= 0 {
+		m.crashAtCommit = 0
+	} else {
+		m.crashAtCommit = m.commits + n
+	}
+	m.mu.Unlock()
+}
+
+// Crash kills the instance: volatile state (the buffer pool, including
+// every pinned uncommitted page) is dropped without write-back and the
+// manager refuses further work. The durable page store survives for
+// recovery by a fresh instance.
+func (m *Manager) Crash() {
+	m.mu.Lock()
+	m.dead = true
+	m.inst.Pool.SetCapture(nil)
+	m.inst.Crash()
+	m.mu.Unlock()
+}
+
+// Dead reports whether the manager has been killed.
+func (m *Manager) Dead() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dead
+}
+
+// Checkpoint flushes all committed work and truncates the log. It runs
+// with no transaction in flight.
+func (m *Manager) Checkpoint(sess *engine.Session) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.commitMu.Lock()
+	defer m.commitMu.Unlock()
+	if m.dead {
+		return ErrCrashed
+	}
+	return m.log.Checkpoint(&sess.Clk, m.inst.Pool)
+}
+
+type pageKey struct {
+	obj  pagestore.ObjectID
+	page int64
+}
+
+// pageWrite is one captured page install, in transaction order.
+type pageWrite struct {
+	tag  policy.Tag
+	page int64
+	kind wal.Kind
+	post []byte
+}
+
+// preimage is the first-touch state of a page, for abort.
+type preimage struct {
+	obj      pagestore.ObjectID
+	page     int64
+	pre      []byte // nil: the page had no frame before this transaction
+	preDirty bool
+}
+
+// Txn is one transaction. A mutating transaction holds the manager's
+// serialization lock from Begin until Commit or Abort.
+type Txn struct {
+	m        *Manager
+	sess     *engine.Session
+	id       int64
+	readOnly bool
+	op       wal.Kind
+	writes   []pageWrite
+	touched  map[pageKey]struct{}
+	pres     []preimage
+	finished bool
+}
+
+// Begin starts a mutating transaction on the session, taking the
+// manager's serialization lock.
+func (m *Manager) Begin(sess *engine.Session) (*Txn, error) {
+	m.mu.Lock()
+	if m.dead {
+		m.mu.Unlock()
+		return nil, ErrCrashed
+	}
+	t := &Txn{
+		m:       m,
+		sess:    sess,
+		id:      m.log.NextTxnID(),
+		op:      wal.KindHeapUpdate,
+		touched: make(map[pageKey]struct{}),
+	}
+	if _, err := m.log.Append(&sess.Clk, wal.Record{Txn: t.id, Kind: wal.KindBegin}); err != nil {
+		m.mu.Unlock()
+		return nil, err
+	}
+	m.inst.Pool.SetCapture(t.capture)
+	return t, nil
+}
+
+// BeginRead starts a read-only transaction: no lock, no log records.
+func (m *Manager) BeginRead(sess *engine.Session) *Txn {
+	return &Txn{m: m, sess: sess, readOnly: true}
+}
+
+// ID returns the transaction identifier (0 for read-only transactions).
+func (t *Txn) ID() int64 { return t.id }
+
+// Op declares the logical operation the next page writes belong to (one
+// of the heap/index record kinds); it labels the WAL records so the log
+// reads like the logical history it is.
+func (t *Txn) Op(k wal.Kind) {
+	if k.PageRecord() {
+		t.op = k
+	}
+}
+
+// capture is the buffer pool hook: it runs under the pool mutex for every
+// page installed while this transaction is active. The returned pin keeps
+// first-touched frames in memory until the commit force (no-steal).
+func (t *Txn) capture(tag policy.Tag, page int64, pre []byte, preDirty bool, post []byte) bool {
+	if tag.Content == policy.Temp || tag.Content == policy.Log {
+		// Not transactional data: temporary spills may belong to a
+		// concurrent query session (pinning, logging, or rolling them
+		// back would corrupt it), and WAL pages manage their own
+		// durability.
+		return false
+	}
+	k := pageKey{obj: tag.Object, page: page}
+	pin := false
+	if _, ok := t.touched[k]; !ok {
+		t.touched[k] = struct{}{}
+		t.pres = append(t.pres, preimage{obj: k.obj, page: page, pre: pre, preDirty: preDirty})
+		pin = true
+	}
+	t.writes = append(t.writes, pageWrite{tag: tag, page: page, kind: t.op, post: post})
+	return pin
+}
+
+// Commit appends the transaction's page records and a commit record, then
+// forces the log. It returns once the commit is durable — possibly via a
+// group-commit flush another session performed. If the crash harness is
+// armed for this commit, the page records reach the log but the commit
+// record does not, and ErrCrashed is returned.
+func (t *Txn) Commit() error {
+	if t.finished {
+		return fmt.Errorf("txn %d: already finished", t.id)
+	}
+	t.finished = true
+	if t.readOnly {
+		return nil
+	}
+	m := t.m
+	clk := &t.sess.Clk
+	m.inst.Pool.SetCapture(nil)
+
+	var last wal.LSN
+	for _, w := range t.writes {
+		lsn, err := m.log.Append(clk, wal.Record{
+			Txn: t.id, Kind: w.kind, Obj: w.tag.Object, Page: w.page, Image: w.post,
+		})
+		if err != nil {
+			// The transaction cannot become durable: roll its frames
+			// back so the pins are released and nothing uncommitted
+			// lingers in the pool.
+			t.restoreFrames()
+			m.mu.Unlock()
+			return err
+		}
+		last = lsn
+	}
+
+	if m.crashAtCommit != 0 && m.commits+1 >= m.crashAtCommit {
+		// Simulated kill between writing the transaction's records and
+		// its commit record: the log knows the transaction but recovery
+		// must treat it as a loser.
+		m.dead = true
+		err := m.log.Flush(clk, last)
+		m.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		return ErrCrashed
+	}
+
+	lsn, err := m.log.Append(clk, wal.Record{Txn: t.id, Kind: wal.KindCommit})
+	if err != nil {
+		t.restoreFrames()
+		m.mu.Unlock()
+		return err
+	}
+	m.commits++
+	m.mu.Unlock()
+
+	// The force runs outside the serialization lock: the next transaction
+	// may start building while this one waits out the group-commit
+	// window. Frames stay pinned until the records are durable; they are
+	// released even on a flush error (the commit record is appended, so
+	// rolling the frames back could contradict a log that did reach the
+	// device), which keeps the pool from leaking pinned frames.
+	m.commitMu.Lock()
+	err = m.log.Flush(clk, lsn)
+	for _, p := range t.pres {
+		m.inst.Pool.Unpin(p.obj, p.page)
+	}
+	m.commitMu.Unlock()
+	return err
+}
+
+// restoreFrames rewinds every touched frame to its pre-image in reverse
+// order, releasing the pins.
+func (t *Txn) restoreFrames() {
+	for i := len(t.pres) - 1; i >= 0; i-- {
+		p := t.pres[i]
+		t.m.inst.Pool.Restore(p.obj, p.page, p.pre, p.preDirty)
+	}
+}
+
+// Abort rolls the transaction back by restoring every touched frame to
+// its pre-image (reverse order) and releasing the pins. The disk needs no
+// undo: the no-steal pool never let uncommitted pages out.
+func (t *Txn) Abort() error {
+	if t.finished {
+		return fmt.Errorf("txn %d: already finished", t.id)
+	}
+	t.finished = true
+	if t.readOnly {
+		return nil
+	}
+	m := t.m
+	m.inst.Pool.SetCapture(nil)
+	t.restoreFrames()
+	_, err := m.log.Append(&t.sess.Clk, wal.Record{Txn: t.id, Kind: wal.KindAbort})
+	m.aborts++
+	m.mu.Unlock()
+	return err
+}

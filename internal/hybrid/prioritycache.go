@@ -12,6 +12,12 @@ import (
 // priority groups use their priority number 1..N.
 const wbGroup = -1
 
+// logGroup is the group id of pinned write-ahead-log blocks. Like the
+// write buffer it sits outside the 1..N priority ladder: selective
+// eviction never considers it, so log blocks leave the cache only through
+// TRIM when a checkpoint truncates the log.
+const logGroup = -2
+
 // priorityCache is the paper's hybrid storage prototype: an SSD cache over
 // an HDD where both admission and eviction are driven by the caching
 // priority carried on each request (Section 5.1).
@@ -58,6 +64,7 @@ func newPriorityCache(cfg Config) *priorityCache {
 		c.groups[p] = newList()
 	}
 	c.groups[wbGroup] = newList()
+	c.groups[logGroup] = newList()
 	return c
 }
 
@@ -116,11 +123,13 @@ func (c *priorityCache) readBlock(at time.Duration, lbn int64, class dss.Class) 
 		return c.ssd.Access(at, device.Read, pbn, 1), true
 	}
 
-	if c.pol.NonCaching(class) || class == dss.ClassNone || class == dss.ClassWriteBuffer {
+	if c.pol.NonCaching(class) || class == dss.ClassNone || class == dss.ClassWriteBuffer || class == dss.ClassLog {
 		// Action 4: bypassing — low-priority blocks move directly between
 		// the OS and the level-two device. The write-buffer class is only
 		// meaningful on writes; a (malformed) read carrying it is served
-		// without disturbing the layout.
+		// without disturbing the layout. Log reads happen only during a
+		// sequential recovery scan after a restart (cold cache), so they
+		// are not worth allocating for either.
 		c.base.snap.Bypasses++
 		c.mu.Unlock()
 		return c.hdd.Access(at, device.Read, lbn, 1), false
@@ -156,6 +165,9 @@ func (c *priorityCache) readBlock(at time.Duration, lbn int64, class dss.Class) 
 func (c *priorityCache) writeBlock(at time.Duration, lbn int64, class dss.Class) (time.Duration, bool) {
 	if class == dss.ClassWriteBuffer {
 		return c.writeBuffered(at, lbn)
+	}
+	if class == dss.ClassLog {
+		return c.writeLog(at, lbn)
 	}
 
 	c.mu.Lock()
@@ -236,6 +248,43 @@ func (c *priorityCache) writeBuffered(at time.Duration, lbn int64) (time.Duratio
 	return c.ssd.Access(at, device.Write, pbn, 1), hit
 }
 
+// writeLog serves a write carrying the pinned log class: the block is
+// placed (or refreshed) in the non-evictable log group and written through
+// — the commit-critical completion time is the SSD write, while the HDD
+// copy is destaged in the background, so neither eviction nor TRIM ever
+// owes the block a write-back.
+func (c *priorityCache) writeLog(at time.Duration, lbn int64) (time.Duration, bool) {
+	c.mu.Lock()
+	meta := c.table[lbn]
+	hit := meta != nil
+	if meta == nil {
+		if !c.ensureSpace(at, 0, true) {
+			// Cache fully occupied by other pinned blocks: the log write
+			// falls through to the HDD.
+			c.base.snap.Bypasses++
+			c.mu.Unlock()
+			return c.hdd.Access(at, device.Write, lbn, 1), false
+		}
+		meta = c.insert(lbn, logGroup, false)
+		c.base.snap.WriteAllocs++
+	} else {
+		if meta.class != logGroup {
+			if meta.class == wbGroup {
+				c.wbBlocks--
+			}
+			c.moveGroup(meta, logGroup)
+			c.base.snap.Reallocs++
+		} else {
+			c.groups[logGroup].moveToFront(meta)
+		}
+		meta.dirty = false // write-through: the HDD copy is scheduled below
+	}
+	pbn := meta.pbn
+	c.mu.Unlock()
+	c.hdd.AccessBackground(at, device.Write, lbn, 1)
+	return c.ssd.Access(at, device.Write, pbn, 1), hit
+}
+
 // flushWriteBuffer writes every dirty write-buffer block to the HDD in
 // the background and releases the write-buffer budget. The flushed blocks
 // stay in cache — clean, demoted to the lowest caching priority — so
@@ -278,11 +327,27 @@ func (c *priorityCache) reallocate(meta *blockMeta, class dss.Class) {
 		}
 	case class == dss.ClassWriteBuffer:
 		if meta.class != wbGroup {
+			if meta.class == logGroup {
+				// Log blocks are pinned; a (malformed) non-log request
+				// cannot demote them.
+				c.groups[logGroup].moveToFront(meta)
+				return
+			}
 			c.moveGroup(meta, wbGroup)
 			c.wbBlocks++
 			c.base.snap.Reallocs++
 		} else {
 			c.groups[wbGroup].moveToFront(meta)
+		}
+	case class == dss.ClassLog:
+		if meta.class != logGroup {
+			if meta.class == wbGroup {
+				c.wbBlocks--
+			}
+			c.moveGroup(meta, logGroup)
+			c.base.snap.Reallocs++
+		} else {
+			c.groups[logGroup].moveToFront(meta)
 		}
 	default:
 		k := int(class)
@@ -321,7 +386,7 @@ func (c *priorityCache) ensureSpace(at time.Duration, k int, forWB bool) bool {
 		c.evict(at, g.back())
 		return true
 	}
-	// Only write-buffer blocks remain.
+	// Only pinned blocks (write buffer, log) remain.
 	return false
 }
 

@@ -13,10 +13,17 @@
 package pagestore
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 )
+
+// ErrUnknownObject marks operations on an object that is not (or no
+// longer) registered. Callers racing a deletion — e.g. a background
+// write-back of a temp-file page whose file was just dropped — match it
+// with errors.Is and drop the write: the data is dead by definition.
+var ErrUnknownObject = errors.New("unknown object")
 
 // PageSize is the size of a page in bytes (one device block).
 const PageSize = 8192
@@ -109,7 +116,7 @@ func (s *Store) LBA(id ObjectID, page int64) (int64, error) {
 	defer s.mu.Unlock()
 	o := s.objects[id]
 	if o == nil {
-		return 0, fmt.Errorf("pagestore: unknown object %d", id)
+		return 0, fmt.Errorf("pagestore: %w %d", ErrUnknownObject, id)
 	}
 	if page < 0 {
 		return 0, fmt.Errorf("pagestore: object %d: negative page %d", id, page)
@@ -122,6 +129,25 @@ func (s *Store) LBA(id ObjectID, page int64) (int64, error) {
 		o.extents = append(o.extents, s.allocExtent())
 	}
 	return o.extents[ext] + page%ExtentPages, nil
+}
+
+// Extend grows the object's logical page count without writing content
+// (file extension, metadata only). Pages between the old and the new end
+// read as zeroes until written. Heap appenders extend the file as soon as
+// a page is installed in the buffer pool, so the next appender — and any
+// concurrent scanner — sees the logical end of the file rather than the
+// write-back horizon.
+func (s *Store) Extend(id ObjectID, pages int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o := s.objects[id]
+	if o == nil {
+		return fmt.Errorf("pagestore: %w %d", ErrUnknownObject, id)
+	}
+	if pages > o.pages {
+		o.pages = pages
+	}
+	return nil
 }
 
 // ReadPage copies the content of (object, page) into a fresh buffer. Pages
@@ -163,7 +189,7 @@ func (s *Store) Truncate(id ObjectID) ([]Extent, error) {
 	defer s.mu.Unlock()
 	o := s.objects[id]
 	if o == nil {
-		return nil, fmt.Errorf("pagestore: unknown object %d", id)
+		return nil, fmt.Errorf("pagestore: %w %d", ErrUnknownObject, id)
 	}
 	ext := s.release(o)
 	o.extents = nil
@@ -178,7 +204,7 @@ func (s *Store) Delete(id ObjectID) ([]Extent, error) {
 	defer s.mu.Unlock()
 	o := s.objects[id]
 	if o == nil {
-		return nil, fmt.Errorf("pagestore: unknown object %d", id)
+		return nil, fmt.Errorf("pagestore: %w %d", ErrUnknownObject, id)
 	}
 	ext := s.release(o)
 	delete(s.objects, id)

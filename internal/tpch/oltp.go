@@ -1,6 +1,7 @@
 package tpch
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -9,6 +10,8 @@ import (
 	"hstoragedb/internal/engine/catalog"
 	"hstoragedb/internal/engine/heap"
 	"hstoragedb/internal/engine/policy"
+	"hstoragedb/internal/engine/txn"
+	"hstoragedb/internal/engine/wal"
 )
 
 // OLTP is the paper's stated future work (Section 8: "We are currently
@@ -25,6 +28,11 @@ import (
 //
 // The mix is 45% NewOrder / 45% Payment / 10% OrderStatus, roughly
 // TPC-C's write-heavy balance.
+//
+// Run executes the mix bare (no durability, as the seed prototype did);
+// RunTxn wraps every transaction in Begin/Commit against a transaction
+// manager, which adds the log request class to the traffic and makes the
+// mix crash-recoverable.
 type OLTP struct {
 	ds   *Dataset
 	rng  *rand.Rand
@@ -42,6 +50,13 @@ type OLTP struct {
 	NewOrders     int64
 	Payments      int64
 	OrderStatuses int64
+
+	// Committed collects the order keys of NewOrder transactions whose
+	// commit is durable; Lost collects keys whose transaction was killed
+	// by the crash harness before its commit record. The crash-recovery
+	// verification checks the former are present and the latter absent.
+	Committed []int64
+	Lost      []int64
 }
 
 // NewOLTP builds a transaction driver over a loaded dataset. Seed varies
@@ -60,16 +75,16 @@ func (ds *Dataset) NewOLTP(seed int64) *OLTP {
 	}
 }
 
-// Run executes n transactions on the session and returns the number of
-// each kind executed.
+// Run executes n transactions on the session without transactional
+// wrapping (the seed behaviour: no WAL, no atomicity).
 func (o *OLTP) Run(sess *engine.Session, n int) error {
 	for i := 0; i < n; i++ {
 		var err error
 		switch r := o.rng.Intn(100); {
 		case r < 45:
-			err = o.newOrder(sess)
+			_, err = o.newOrder(sess, nil)
 		case r < 90:
-			err = o.payment(sess)
+			err = o.payment(sess, nil)
 		default:
 			err = o.orderStatus(sess)
 		}
@@ -80,46 +95,135 @@ func (o *OLTP) Run(sess *engine.Session, n int) error {
 	return nil
 }
 
-// newOrder appends one order + lineitems and maintains the indexes.
-func (o *OLTP) newOrder(sess *engine.Session) error {
+// RunTxn executes n transactions, each wrapped in Begin/Commit against
+// the transaction manager. NewOrder and Payment run as mutating
+// transactions whose page writes are logged; OrderStatus runs read-only.
+// When the manager's crash harness fires, RunTxn records the in-flight
+// NewOrder key (if any) in Lost and returns txn.ErrCrashed.
+func (o *OLTP) RunTxn(tm *txn.Manager, sess *engine.Session, n int) error {
+	for i := 0; i < n; i++ {
+		var err error
+		switch r := o.rng.Intn(100); {
+		case r < 45:
+			err = o.runNewOrderTxn(tm, sess)
+		case r < 90:
+			err = o.runPaymentTxn(tm, sess)
+		default:
+			tx := tm.BeginRead(sess)
+			err = o.orderStatus(sess)
+			if cerr := tx.Commit(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			if errors.Is(err, txn.ErrCrashed) {
+				return err
+			}
+			return fmt.Errorf("tpch: oltp txn %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// RunNewOrdersTxn issues n NewOrder transactions back to back. The
+// crash-injection phase of the OLTP experiment uses it so the victim
+// transaction is always a NewOrder, whose key lands in Lost for the
+// recovery verification.
+func (o *OLTP) RunNewOrdersTxn(tm *txn.Manager, sess *engine.Session, n int) error {
+	for i := 0; i < n; i++ {
+		if err := o.runNewOrderTxn(tm, sess); err != nil {
+			if errors.Is(err, txn.ErrCrashed) {
+				return err
+			}
+			return fmt.Errorf("tpch: oltp neworder %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (o *OLTP) runNewOrderTxn(tm *txn.Manager, sess *engine.Session) error {
+	tx, err := tm.Begin(sess)
+	if err != nil {
+		return err
+	}
+	key, err := o.newOrder(sess, tx)
+	if err != nil {
+		_ = tx.Abort()
+		return err
+	}
+	if err := tx.Commit(); err != nil {
+		if errors.Is(err, txn.ErrCrashed) {
+			o.Lost = append(o.Lost, key)
+		}
+		return err
+	}
+	o.Committed = append(o.Committed, key)
+	return nil
+}
+
+func (o *OLTP) runPaymentTxn(tm *txn.Manager, sess *engine.Session) error {
+	tx, err := tm.Begin(sess)
+	if err != nil {
+		return err
+	}
+	if err := o.payment(sess, tx); err != nil {
+		_ = tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// newOrder appends one order + lineitems and maintains the indexes. Heap
+// rows are appended (and their pages made visible) before any index entry
+// referencing them is inserted, so a concurrent probe never dereferences
+// a page that does not exist yet. It returns the new order key.
+func (o *OLTP) newOrder(sess *engine.Session, tx *txn.Txn) (int64, error) {
 	inst := sess.Instance()
 	key := o.ds.NextOrderKey
 	o.ds.NextOrderKey++
 	order, lines := genOrder(o.rng, o.rngL, key, o.ds.Customers, o.ds.Parts, o.ds.Suppliers)
 
+	if tx != nil {
+		tx.Op(wal.KindHeapInsert)
+	}
 	ordersApp := o.ordersFile.NewAppender(&sess.Clk, inst.Pool, o.ds.DB.Store.Pages(o.ordersInfo.ID))
 	rid, err := ordersApp.Append(order)
 	if err != nil {
-		return err
+		return key, err
 	}
 	if err := ordersApp.Close(); err != nil {
-		return err
+		return key, err
 	}
-	ixOrders := btree.Open(o.ds.DB.Cat.MustIndex("idx_orders_orderkey").ID, inst.Pool)
-	if err := ixOrders.Insert(&sess.Clk, btree.Entry{Key: key, RID: rid}, 0); err != nil {
-		return err
-	}
-
 	lineApp := o.lineFile.NewAppender(&sess.Clk, inst.Pool, o.ds.DB.Store.Pages(o.lineInfo.ID))
-	ixLineOK := btree.Open(o.ds.DB.Cat.MustIndex("idx_lineitem_orderkey").ID, inst.Pool)
-	ixLinePK := btree.Open(o.ds.DB.Cat.MustIndex("idx_lineitem_partkey").ID, inst.Pool)
-	for _, l := range lines {
-		lrid, err := lineApp.Append(l)
-		if err != nil {
-			return err
-		}
-		if err := ixLineOK.Insert(&sess.Clk, btree.Entry{Key: key, RID: lrid}, 0); err != nil {
-			return err
-		}
-		if err := ixLinePK.Insert(&sess.Clk, btree.Entry{Key: l[1].I, RID: lrid}, 0); err != nil {
-			return err
+	lrids := make([]catalog.RID, len(lines))
+	for i, l := range lines {
+		if lrids[i], err = lineApp.Append(l); err != nil {
+			return key, err
 		}
 	}
 	if err := lineApp.Close(); err != nil {
-		return err
+		return key, err
+	}
+
+	if tx != nil {
+		tx.Op(wal.KindIndexInsert)
+	}
+	ixOrders := btree.Open(o.ds.DB.Cat.MustIndex("idx_orders_orderkey").ID, inst.Pool)
+	if err := ixOrders.Insert(&sess.Clk, btree.Entry{Key: key, RID: rid}, 0); err != nil {
+		return key, err
+	}
+	ixLineOK := btree.Open(o.ds.DB.Cat.MustIndex("idx_lineitem_orderkey").ID, inst.Pool)
+	ixLinePK := btree.Open(o.ds.DB.Cat.MustIndex("idx_lineitem_partkey").ID, inst.Pool)
+	for i, l := range lines {
+		if err := ixLineOK.Insert(&sess.Clk, btree.Entry{Key: key, RID: lrids[i]}, 0); err != nil {
+			return key, err
+		}
+		if err := ixLinePK.Insert(&sess.Clk, btree.Entry{Key: l[1].I, RID: lrids[i]}, 0); err != nil {
+			return key, err
+		}
 	}
 	o.NewOrders++
-	return nil
+	return key, nil
 }
 
 // orderStatus reads one order and its lineitems through the indexes.
@@ -151,7 +255,7 @@ func (o *OLTP) orderStatus(sess *engine.Session) error {
 }
 
 // payment reads a customer and an order, then rewrites the order row.
-func (o *OLTP) payment(sess *engine.Session) error {
+func (o *OLTP) payment(sess *engine.Session, tx *txn.Txn) error {
 	inst := sess.Instance()
 	custKey := 1 + o.rng.Int63n(o.ds.Customers)
 	ixCust := btree.Open(o.ds.DB.Cat.MustIndex("idx_customer_custkey").ID, inst.Pool)
@@ -171,6 +275,9 @@ func (o *OLTP) payment(sess *engine.Session) error {
 	if err != nil {
 		return err
 	}
+	if tx != nil {
+		tx.Op(wal.KindHeapUpdate)
+	}
 	totalCol := o.ordersInfo.Schema.MustCol("o_totalprice")
 	for _, rid := range rids {
 		row, err := o.ordersFile.Fetch(&sess.Clk, inst.Pool, rid, 0)
@@ -187,5 +294,34 @@ func (o *OLTP) payment(sess *engine.Session) error {
 		}
 	}
 	o.Payments++
+	return nil
+}
+
+// RecomputeNextOrderKey rescans the orders index after a recovery and
+// resets the key allocator past the highest durable order key, discarding
+// allocations lost with the crashed instance.
+func (ds *Dataset) RecomputeNextOrderKey(sess *engine.Session) error {
+	inst := sess.Instance()
+	ix := btree.Open(ds.DB.Cat.MustIndex("idx_orders_orderkey").ID, inst.Pool)
+	it, err := ix.Seek(&sess.Clk, 0, 1<<62, 0)
+	if err != nil {
+		return err
+	}
+	var max int64
+	for {
+		e, ok, err := it.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if e.Key > max {
+			max = e.Key
+		}
+	}
+	if max > 0 {
+		ds.NextOrderKey = max + 1
+	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"hstoragedb/internal/engine"
 	"hstoragedb/internal/engine/btree"
+	"hstoragedb/internal/engine/catalog"
 	"hstoragedb/internal/engine/heap"
 	"hstoragedb/internal/engine/policy"
 )
@@ -37,6 +38,15 @@ func (ds *Dataset) RF1(sess *engine.Session) (int, error) {
 	ixLineOK := btree.Open(ds.DB.Cat.MustIndex("idx_lineitem_orderkey").ID, inst.Pool)
 	ixLinePK := btree.Open(ds.DB.Cat.MustIndex("idx_lineitem_partkey").ID, inst.Pool)
 
+	// Heap rows first, index entries second: an index entry must never be
+	// visible before the heap page holding its RID is, or a concurrent
+	// probe dereferences a page that does not exist yet (the dangling-RID
+	// race the throughput test used to trip over).
+	type ixEntry struct {
+		key int64
+		rid catalog.RID
+	}
+	var orderEntries, lineOKEntries, linePKEntries []ixEntry
 	for i := 0; i < n; i++ {
 		key := ds.NextOrderKey
 		ds.NextOrderKey++
@@ -45,20 +55,14 @@ func (ds *Dataset) RF1(sess *engine.Session) (int, error) {
 		if err != nil {
 			return i, err
 		}
-		if err := ixOrders.Insert(&sess.Clk, btree.Entry{Key: key, RID: rid}, 0); err != nil {
-			return i, err
-		}
+		orderEntries = append(orderEntries, ixEntry{key: key, rid: rid})
 		for _, l := range lines {
 			lrid, err := lineApp.Append(l)
 			if err != nil {
 				return i, err
 			}
-			if err := ixLineOK.Insert(&sess.Clk, btree.Entry{Key: key, RID: lrid}, 0); err != nil {
-				return i, err
-			}
-			if err := ixLinePK.Insert(&sess.Clk, btree.Entry{Key: l[1].I, RID: lrid}, 0); err != nil {
-				return i, err
-			}
+			lineOKEntries = append(lineOKEntries, ixEntry{key: key, rid: lrid})
+			linePKEntries = append(linePKEntries, ixEntry{key: l[1].I, rid: lrid})
 		}
 		ds.pendingRF = append(ds.pendingRF, key)
 	}
@@ -67,6 +71,21 @@ func (ds *Dataset) RF1(sess *engine.Session) (int, error) {
 	}
 	if err := lineApp.Close(); err != nil {
 		return n, err
+	}
+	for _, e := range orderEntries {
+		if err := ixOrders.Insert(&sess.Clk, btree.Entry{Key: e.key, RID: e.rid}, 0); err != nil {
+			return n, err
+		}
+	}
+	for _, e := range lineOKEntries {
+		if err := ixLineOK.Insert(&sess.Clk, btree.Entry{Key: e.key, RID: e.rid}, 0); err != nil {
+			return n, err
+		}
+	}
+	for _, e := range linePKEntries {
+		if err := ixLinePK.Insert(&sess.Clk, btree.Entry{Key: e.key, RID: e.rid}, 0); err != nil {
+			return n, err
+		}
 	}
 	// Commit: push the appended pages out so their heap sizes are visible
 	// to scans (and the writes reach the storage system as updates).

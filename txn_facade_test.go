@@ -1,0 +1,68 @@
+package hstoragedb_test
+
+import (
+	"errors"
+	"testing"
+
+	"hstoragedb"
+)
+
+// TestTxnFacade drives the transactional surface through the public API:
+// WAL creation, committed OLTP transactions, crash injection, and
+// recovery by a fresh instance.
+func TestTxnFacade(t *testing.T) {
+	ds, err := hstoragedb.LoadTPCH(0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newInst := func() *hstoragedb.Instance {
+		inst, err := ds.DB.NewInstance(hstoragedb.InstanceConfig{
+			Storage: hstoragedb.StorageConfig{
+				Mode:        hstoragedb.HStorage,
+				CacheBlocks: 1024,
+			},
+			BufferPoolPages: 64,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inst
+	}
+
+	inst := newInst()
+	sess := inst.NewSession()
+	log, err := hstoragedb.NewWAL(sess, hstoragedb.DefaultWALConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := hstoragedb.NewTxnManager(inst, log)
+
+	driver := ds.NewOLTP(3)
+	if err := driver.RunTxn(tm, sess, 40); err != nil {
+		t.Fatal(err)
+	}
+	if tm.Commits() == 0 {
+		t.Fatal("no commits")
+	}
+	snap := inst.Sys.Stats()
+	if snap.Class(hstoragedb.ClassLog).WriteBlocks == 0 {
+		t.Fatal("log writes not visible under ClassLog in the snapshot")
+	}
+
+	tm.CrashAtCommit(2)
+	err = driver.RunNewOrdersTxn(tm, sess, 10)
+	if !errors.Is(err, hstoragedb.ErrCrashed) {
+		t.Fatalf("crash harness: %v", err)
+	}
+	tm.Crash()
+
+	inst2 := newInst()
+	sess2 := inst2.NewSession()
+	_, stats, err := hstoragedb.Recover(sess2, hstoragedb.DefaultWALConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CommittedTxns == 0 || stats.LoserTxns == 0 || stats.Elapsed <= 0 {
+		t.Fatalf("recovery stats: %+v", stats)
+	}
+}
