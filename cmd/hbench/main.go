@@ -8,7 +8,7 @@
 //	hbench -exp fig5,fig6,table5 -sf 0.02 -cache 0.7
 //
 // Experiments: fig4, fig5, table4, fig6, table5, table6, fig9, table7,
-// fig11 (includes table8), table9, fig12, all.
+// fig11 (includes table8), table9, fig12, oltp, iosched, all.
 package main
 
 import (
@@ -23,14 +23,14 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	exp := flag.String("exp", "all", "comma-separated experiment ids (fig4 fig5 table4 fig6 table5 table6 fig9 table7 fig11 table9 fig12 oltp all)")
+	exp := flag.String("exp", "all", "comma-separated experiment ids (fig4 fig5 table4 fig6 table5 table6 fig9 table7 fig11 table9 fig12 oltp iosched all)")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
 	cache := flag.Float64("cache", 0.7, "SSD cache size as a fraction of total data pages")
 	bp := flag.Float64("bp", 0.04, "buffer pool size as a fraction of total data pages")
 	workMem := flag.Int("workmem", 3000, "blocking-operator memory budget in tuples")
 	seed := flag.Int64("seed", 0, "query parameter seed")
-	streams := flag.Int("streams", 3, "query streams in the throughput test")
-	txns := flag.Int("txns", 150, "transactions per configuration in the OLTP experiment")
+	streams := flag.Int("streams", 3, "query streams in the throughput and iosched tests")
+	txns := flag.Int("txns", 150, "transactions per configuration in the OLTP/iosched experiments")
 	flag.Parse()
 
 	cfg := experiments.Config{
@@ -152,6 +152,14 @@ func main() {
 			return err
 		}
 		fmt.Print(experiments.FormatOLTP(runs))
+		return nil
+	})
+	run("iosched", func() error {
+		runs, err := env.IOSchedAll(*streams, *txns)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatIOSched(runs))
 		return nil
 	})
 	if has("table9") || has("fig12") {

@@ -97,4 +97,13 @@ func main() {
 	}
 	fmt.Printf("\nfull sequential scan of the table: %v (Rule 1: bypasses the cache)\n", res2.Elapsed)
 	fmt.Printf("cache still holds %d blocks\n", inst.Sys.Stats().CachedBlocks)
+
+	// Where to go next: `go run ./cmd/hbench -exp oltp` runs the
+	// transactional OLTP extension (WAL + group commit + crash
+	// recovery, log writes pinned under ClassLog), and `go run
+	// ./cmd/hbench -exp iosched` measures the QoS-aware device I/O
+	// scheduler under contention: per-class latency percentiles and
+	// throughput, scheduler vs FIFO, across all four storage modes.
+	fmt.Println("\nnext: go run ./cmd/hbench -exp oltp   (transactions, WAL, crash recovery)")
+	fmt.Println("      go run ./cmd/hbench -exp iosched (QoS device scheduler under contention)")
 }

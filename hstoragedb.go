@@ -49,6 +49,7 @@ import (
 	"hstoragedb/internal/engine/wal"
 	"hstoragedb/internal/experiments"
 	"hstoragedb/internal/hybrid"
+	"hstoragedb/internal/iosched"
 	"hstoragedb/internal/simclock"
 	"hstoragedb/internal/tpch"
 )
@@ -69,6 +70,21 @@ type (
 	Snapshot = hybrid.Snapshot
 	// DeviceSpec parameterizes a simulated device.
 	DeviceSpec = device.Spec
+	// IOSchedConfig parameterizes the QoS-aware per-device I/O
+	// scheduler (StorageConfig.Sched): priority dispatch with an aging
+	// bound, coalescing, readahead; set Disable for the single-FIFO
+	// ablation or FIFO for the queued arrival-order ablation.
+	IOSchedConfig = iosched.Config
+	// IOSchedGroup is a storage system's scheduling domain: experiment
+	// streams register their session clocks with it for
+	// closed-population priority dispatch (System.Sched()).
+	IOSchedGroup = iosched.Group
+	// LatencyHist is a per-class end-to-end device latency histogram
+	// (DeviceStats.PerClass).
+	LatencyHist = device.LatencyHist
+	// DeviceStats are one device's cumulative counters, including the
+	// per-class latency histograms recorded by the I/O scheduler.
+	DeviceStats = device.Stats
 )
 
 // The four storage configurations of Section 6.

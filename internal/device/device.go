@@ -99,6 +99,110 @@ func Intel320() Spec {
 	}
 }
 
+// latBuckets are the upper bounds of the latency histogram buckets. The
+// last implicit bucket is +Inf. The spacing is roughly logarithmic, wide
+// enough to separate an SSD cache hit (~tens of microseconds) from a
+// queued HDD random access (~tens of milliseconds).
+var latBuckets = [...]time.Duration{
+	20 * time.Microsecond, 50 * time.Microsecond, 100 * time.Microsecond,
+	200 * time.Microsecond, 500 * time.Microsecond,
+	time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
+	10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond,
+	100 * time.Millisecond, 200 * time.Millisecond, 500 * time.Millisecond,
+	time.Second, 2 * time.Second, 5 * time.Second,
+}
+
+// LatencyHist is a fixed-bucket latency histogram for one request class.
+// It records end-to-end request latency: queueing delay plus service
+// time, as observed by the I/O scheduler that granted the request.
+type LatencyHist struct {
+	// Buckets counts requests whose latency was at most the matching
+	// entry of the bucket-bound table; the final slot counts overflows.
+	Buckets [len(latBuckets) + 1]int64
+	// Count, Sum and Max summarize the recorded latencies exactly.
+	Count int64
+	Sum   time.Duration
+	Max   time.Duration
+}
+
+// Observe records one latency sample.
+func (h *LatencyHist) Observe(lat time.Duration) {
+	if lat < 0 {
+		lat = 0
+	}
+	i := 0
+	for i < len(latBuckets) && lat > latBuckets[i] {
+		i++
+	}
+	h.Buckets[i]++
+	h.Count++
+	h.Sum += lat
+	if lat > h.Max {
+		h.Max = lat
+	}
+}
+
+// Merge folds another histogram into h (used to combine the SSD and HDD
+// views of one class).
+func (h *LatencyHist) Merge(o LatencyHist) {
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+}
+
+// Mean returns the average recorded latency.
+func (h *LatencyHist) Mean() time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / time.Duration(h.Count)
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
+// inside the bucket that contains it. The estimate for the overflow
+// bucket is the recorded maximum.
+func (h *LatencyHist) Quantile(q float64) time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum float64
+	for i, n := range h.Buckets {
+		cum += float64(n)
+		if cum < rank || n == 0 {
+			continue
+		}
+		if i >= len(latBuckets) {
+			return h.Max
+		}
+		lo := time.Duration(0)
+		if i > 0 {
+			lo = latBuckets[i-1]
+		}
+		hi := latBuckets[i]
+		if hi > h.Max {
+			hi = h.Max
+		}
+		if hi < lo {
+			return lo
+		}
+		frac := 1 - (cum-rank)/float64(n)
+		return lo + time.Duration(frac*float64(hi-lo))
+	}
+	return h.Max
+}
+
 // Stats are cumulative counters for one device.
 type Stats struct {
 	Reads       int64
@@ -108,6 +212,13 @@ type Stats struct {
 	SeqAccesses int64 // requests that continued the prior LBA run
 	RandAccess  int64 // requests that paid the positioning penalty
 	BusyTime    time.Duration
+
+	// PerClass holds end-to-end latency histograms keyed by request
+	// class (the integer value of a dss.Class; the device package cannot
+	// import dss without a cycle). Only latency-sensitive foreground
+	// requests are recorded: background flushes and destages nobody
+	// waits on are excluded so they cannot pollute tail percentiles.
+	PerClass map[int]LatencyHist
 }
 
 // Device is a simulated block device. All methods are safe for concurrent
@@ -119,6 +230,7 @@ type Device struct {
 	mu      sync.Mutex
 	nextLBA int64 // LBA immediately after the last access; -1 initially
 	stats   Stats
+	hists   map[int]*LatencyHist
 }
 
 // New creates a device from a spec.
@@ -205,17 +317,62 @@ func (d *Device) AccessBackground(at time.Duration, op Op, lba int64, blocks int
 	return d.res.ServeBackground(at, svc)
 }
 
-// Stats returns a snapshot of the device counters.
+// AccessQueued is the queue-aware submission API used by the I/O
+// scheduler (package iosched): the request arrived at virtual time
+// `arrive` and was granted the device at `grant` (grant >= arrive when
+// the scheduler held it back behind higher-priority work). The access is
+// served like Access, and the request's end-to-end latency — completion
+// minus arrival, i.e. queueing plus service — is recorded in the
+// per-class latency histogram under `class`.
+func (d *Device) AccessQueued(arrive, grant time.Duration, op Op, lba int64, blocks int, class int) time.Duration {
+	end := d.Access(grant, op, lba, blocks)
+	d.ObserveLatency(class, end-arrive)
+	return end
+}
+
+// BusyUntil reports the virtual time at which the device becomes idle.
+// The I/O scheduler consults it to measure how long a queued request has
+// effectively been waiting (its aging bound).
+func (d *Device) BusyUntil() time.Duration { return d.res.BusyUntil() }
+
+// ObserveLatency records one end-to-end request latency for a class in
+// the device's histogram set. Class keys are dss.Class values; the
+// scheduler owns the mapping.
+func (d *Device) ObserveLatency(class int, lat time.Duration) {
+	d.mu.Lock()
+	h := d.hists[class]
+	if h == nil {
+		if d.hists == nil {
+			d.hists = make(map[int]*LatencyHist)
+		}
+		h = &LatencyHist{}
+		d.hists[class] = h
+	}
+	h.Observe(lat)
+	d.mu.Unlock()
+}
+
+// Stats returns a snapshot of the device counters, including per-class
+// latency histograms.
 func (d *Device) Stats() Stats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.stats
+	s := d.stats
+	if len(d.hists) > 0 {
+		s.PerClass = make(map[int]LatencyHist, len(d.hists))
+		for c, h := range d.hists {
+			s.PerClass[c] = *h
+		}
+	}
+	return s
 }
 
-// Reset clears counters, the queue, and the sequential-detection cursor.
+// Reset clears counters, histograms, the queue, and the
+// sequential-detection cursor.
 func (d *Device) Reset() {
 	d.mu.Lock()
 	d.stats = Stats{}
+	d.hists = nil
 	d.nextLBA = -1
 	d.mu.Unlock()
 	d.res.Reset()

@@ -1,6 +1,7 @@
 package device
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 	"time"
@@ -107,8 +108,8 @@ func TestCounters(t *testing.T) {
 		t.Fatalf("counters %+v", s)
 	}
 	d.Reset()
-	if d.Stats() != (Stats{}) {
-		t.Fatalf("reset left %+v", d.Stats())
+	if s := d.Stats(); s.Reads != 0 || s.Writes != 0 || s.BusyTime != 0 || s.PerClass != nil {
+		t.Fatalf("reset left %+v", s)
 	}
 }
 
@@ -117,7 +118,7 @@ func TestZeroBlockAccessFree(t *testing.T) {
 	d.Access(0, Read, 0, 64)
 	before := d.Stats()
 	done := d.Access(time.Second, Read, 0, 0)
-	if d.Stats() != before {
+	if !reflect.DeepEqual(d.Stats(), before) {
 		t.Fatalf("zero-length access changed counters")
 	}
 	if done != time.Second {

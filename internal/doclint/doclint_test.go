@@ -1,0 +1,124 @@
+// Package doclint enforces the repository's documentation contract: in
+// the audited packages, every exported top-level symbol (types,
+// functions, methods, and package-level consts/vars) carries a doc
+// comment, and every package has a package comment. It runs as an
+// ordinary test, so `go test ./...` — and therefore CI — is the lint.
+package doclint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// auditedPackages lists the source directories (relative to the repo
+// root) whose exported surface must be fully documented.
+var auditedPackages = []string{
+	"internal/dss",
+	"internal/hybrid",
+	"internal/iosched",
+	"internal/engine/policy",
+	"internal/engine/wal",
+}
+
+// hasDoc reports whether a doc comment is present and non-trivial.
+func hasDoc(g *ast.CommentGroup) bool {
+	return g != nil && strings.TrimSpace(g.Text()) != ""
+}
+
+// lintFile collects undocumented exported declarations of one file.
+func lintFile(fset *token.FileSet, f *ast.File) []string {
+	var missing []string
+	report := func(pos token.Pos, what string) {
+		p := fset.Position(pos)
+		missing = append(missing, fmt.Sprintf("%s:%d: %s", p.Filename, p.Line, what))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() {
+				continue
+			}
+			if d.Recv != nil {
+				// Methods on unexported receivers are not API surface.
+				if !exportedRecv(d.Recv) {
+					continue
+				}
+			}
+			if !hasDoc(d.Doc) {
+				report(d.Pos(), "exported func "+d.Name.Name+" has no doc comment")
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && !hasDoc(d.Doc) && !hasDoc(s.Doc) {
+						report(s.Pos(), "exported type "+s.Name.Name+" has no doc comment")
+					}
+				case *ast.ValueSpec:
+					for _, name := range s.Names {
+						if name.IsExported() && !hasDoc(d.Doc) && !hasDoc(s.Doc) && !hasDoc(s.Comment) {
+							report(s.Pos(), "exported value "+name.Name+" has no doc comment")
+						}
+					}
+				}
+			}
+		}
+	}
+	return missing
+}
+
+// exportedRecv reports whether a method receiver names an exported type.
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// TestExportedSymbolsDocumented is the doc lint: it fails with the list
+// of undocumented exported symbols in the audited packages.
+func TestExportedSymbolsDocumented(t *testing.T) {
+	root := filepath.Join("..", "..")
+	for _, pkg := range auditedPackages {
+		dir := filepath.Join(root, filepath.FromSlash(pkg))
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg, err)
+		}
+		for _, p := range pkgs {
+			docked := false
+			for _, f := range p.Files {
+				if hasDoc(f.Doc) {
+					docked = true
+				}
+				for _, m := range lintFile(fset, f) {
+					t.Error(m)
+				}
+			}
+			if !docked {
+				t.Errorf("%s: package %s has no package comment", pkg, p.Name)
+			}
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"hstoragedb/internal/device"
+	"hstoragedb/internal/simclock"
 )
 
 // Class is the QoS policy attached to a request. For the hybrid storage
@@ -130,13 +131,28 @@ const (
 )
 
 // Request is a classified block I/O request: the physical information a
-// storage manager would traditionally emit, plus the embedded QoS policy.
+// storage manager would traditionally emit, plus the embedded QoS policy
+// and two scheduling hints the device I/O scheduler consumes.
 type Request struct {
-	Kind   Kind
-	Op     device.Op
+	// Kind distinguishes data traffic from TRIM commands.
+	Kind Kind
+	// Op is the transfer direction (ignored for TRIM).
+	Op device.Op
+	// LBA and Blocks delimit the accessed range.
 	LBA    int64
 	Blocks int
-	Class  Class
+	// Class is the QoS policy embedded in the request.
+	Class Class
+
+	// Stream identifies the submitting request stream by its session
+	// clock, so the device scheduler can dispatch a registered closed
+	// population in priority order (see iosched.Group.Register). Nil
+	// marks an anonymous submission.
+	Stream *simclock.Clock
+	// Background marks work no requester waits on (dirty-page
+	// write-back, asynchronous flushes): the device scheduler serves it
+	// below every foreground class.
+	Background bool
 }
 
 // String implements fmt.Stringer.

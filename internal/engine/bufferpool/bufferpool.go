@@ -5,7 +5,10 @@
 // dirty write-back, instead of stripping it away.
 //
 // The pool is a write-back LRU cache of pages shared by all concurrently
-// running queries.
+// running queries. Dirty-page write-back goes through the storage
+// manager's background path, which tags the request with its class and
+// marks it Background, so the device I/O scheduler serves it below every
+// foreground class instead of letting a flush delay a commit.
 package bufferpool
 
 import (

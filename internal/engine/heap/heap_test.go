@@ -228,7 +228,13 @@ func TestSequentialScanIsSequentialOnDisk(t *testing.T) {
 		}
 	}
 	st := sys.HDD().Stats()
-	if st.SeqAccesses < st.RandAccess {
+	// The I/O scheduler coalesces and reads ahead, so the scan reaches
+	// the platter as a handful of large runs: at most a couple of
+	// positioning penalties regardless of how many pages were read.
+	if st.RandAccess > 2 {
 		t.Fatalf("scan not sequential: seq=%d rand=%d", st.SeqAccesses, st.RandAccess)
+	}
+	if st.BlocksRead < store.Pages(1) {
+		t.Fatalf("scan read %d blocks for %d pages", st.BlocksRead, store.Pages(1))
 	}
 }

@@ -69,10 +69,20 @@ func (p Pattern) String() string {
 type RequestType int
 
 const (
+	// SequentialRequest marks requests issued by sequential scans
+	// (Rule 1: non-caching, non-eviction).
 	SequentialRequest RequestType = iota
+	// RandomRequest marks requests issued by index scans and the table
+	// fetches they drive (Rules 2 and 5: level-derived priority).
 	RandomRequest
+	// TempRequest marks temporary-data requests (Rule 3: highest
+	// caching priority, TRIMmed on deletion).
 	TempRequest
+	// UpdateRequest marks data-modification requests (Rule 4: the
+	// write-buffer policy).
 	UpdateRequest
+	// LogRequest marks write-ahead-log traffic (the OLTP extension's
+	// pinned highest-priority class).
 	LogRequest
 )
 

@@ -95,6 +95,7 @@ func (m *Manager) ReadPage(clk *simclock.Clock, tag policy.Tag, page int64) ([]b
 		LBA:    lba,
 		Blocks: 1,
 		Class:  class,
+		Stream: clk,
 	})
 	clk.AdvanceTo(done)
 	m.count(readTag.Type(), 1)
@@ -133,10 +134,12 @@ func (m *Manager) writePage(clk *simclock.Clock, tag policy.Tag, page int64, dat
 	}
 	class := m.table.Classify(writeTag)
 	done := m.storage.Submit(clk.Now(), dss.Request{
-		Op:     device.Write,
-		LBA:    lba,
-		Blocks: 1,
-		Class:  class,
+		Op:         device.Write,
+		LBA:        lba,
+		Blocks:     1,
+		Class:      class,
+		Stream:     clk,
+		Background: background,
 	})
 	if !background {
 		clk.AdvanceTo(done)
@@ -214,10 +217,12 @@ func (m *Manager) FormatTypeStats() string {
 
 // Wait advances clk past any in-flight background work on both devices
 // (asynchronous flushes, dirty evictions). Experiments call it before
-// reading final times so background writes are not billed for free. A
-// zero-length access returns the device's busy-until without disturbing
-// its counters.
+// reading final times so background writes are not billed for free. The
+// I/O scheduler is drained first so queued background grants land on
+// the devices' busy horizons. A zero-length access returns the device's
+// busy-until without disturbing its counters.
 func (m *Manager) Wait(clk *simclock.Clock) {
+	m.storage.Sched().Drain()
 	var until time.Duration
 	if d := m.storage.HDD(); d != nil {
 		if t := d.Access(clk.Now(), device.Read, 0, 0); t > until {

@@ -273,6 +273,13 @@ func (t *Txn) Commit() error {
 		return err
 	}
 	m.commits++
+	// commitMu must be taken before m.mu is released: Checkpoint
+	// acquires m.mu then commitMu, so grabbing it here (same order)
+	// closes the window in which a checkpoint could slide between this
+	// transaction's commit record and its flush+unpin — a checkpoint in
+	// that window would skip the still-pinned frames in FlushAll yet
+	// stamp an LSN above their page records, making redo skip them too.
+	m.commitMu.Lock()
 	m.mu.Unlock()
 
 	// The force runs outside the serialization lock: the next transaction
@@ -281,7 +288,6 @@ func (t *Txn) Commit() error {
 	// released even on a flush error (the commit record is appended, so
 	// rolling the frames back could contradict a log that did reach the
 	// device), which keeps the pool from leaking pinned frames.
-	m.commitMu.Lock()
 	err = m.log.Flush(clk, lsn)
 	for _, p := range t.pres {
 		m.inst.Pool.Unpin(p.obj, p.page)

@@ -53,12 +53,15 @@ const (
 	// KindAbort records a rolled-back transaction (advisory: a
 	// transaction without a commit record is never redone).
 	KindAbort Kind = 3
-	// KindHeapInsert..KindHeapDelete are heap page records.
+	// KindHeapInsert records a heap page post-image after an insert.
 	KindHeapInsert Kind = 4
+	// KindHeapUpdate records a heap page post-image after an update.
 	KindHeapUpdate Kind = 5
+	// KindHeapDelete records a heap page post-image after a delete.
 	KindHeapDelete Kind = 6
-	// KindIndexInsert/KindIndexDelete are index maintenance records.
+	// KindIndexInsert records an index page post-image after an insert.
 	KindIndexInsert Kind = 7
+	// KindIndexDelete records an index page post-image after a delete.
 	KindIndexDelete Kind = 8
 	// KindCheckpoint marks a fuzzy checkpoint: every committed effect
 	// below this LSN is on disk, so earlier segments can be truncated.

@@ -6,6 +6,7 @@ import (
 
 	"hstoragedb/internal/device"
 	"hstoragedb/internal/dss"
+	"hstoragedb/internal/iosched"
 )
 
 // arcCache implements ARC (Megiddo & Modha, FAST 2003) — the paper's
@@ -20,6 +21,10 @@ type arcCache struct {
 	ssd *device.Device
 	hdd *device.Device
 	lat time.Duration
+
+	grp  *iosched.Group
+	ssdS *iosched.Scheduler
+	hddS *iosched.Scheduler
 
 	capacity   int
 	asyncAlloc bool
@@ -59,6 +64,7 @@ func newARCCache(cfg Config) *arcCache {
 		asyncAlloc: cfg.AsyncReadAlloc,
 		table:      make(map[int64]*arcEntry),
 	}
+	c.grp, c.ssdS, c.hddS = attachCacheScheds(cfg, c.ssd, c.hdd)
 	c.t1.init()
 	c.t2.init()
 	c.b1.init()
@@ -117,10 +123,11 @@ func (c *arcCache) replace(at time.Duration, inB2 bool) {
 }
 
 // demote turns a resident entry into a ghost, writing back dirty data.
-// Caller holds c.mu.
+// A class-blind cache does not know what it is destaging: the
+// write-back goes out unclassified. Caller holds c.mu.
 func (c *arcCache) demote(at time.Duration, e *arcEntry, ghost arcList) {
 	if e.meta.dirty {
-		c.hdd.AccessBackground(at, device.Write, e.meta.lbn, 1)
+		c.hddS.SubmitBackground(at, device.Write, e.meta.lbn, 1, dss.ClassNone)
 		c.base.snap.DirtyEvict++
 		e.meta.dirty = false
 	}
@@ -148,7 +155,7 @@ func (c *arcCache) Submit(at time.Duration, req dss.Request) time.Duration {
 	done := at
 	var hits int64
 	for i := 0; i < req.Blocks; i++ {
-		t, hit := c.access(at, req.Op, req.LBA+int64(i))
+		t, hit := c.access(at, req, req.LBA+int64(i))
 		if hit {
 			hits++
 		}
@@ -162,7 +169,8 @@ func (c *arcCache) Submit(at time.Duration, req dss.Request) time.Duration {
 	return done
 }
 
-func (c *arcCache) access(at time.Duration, op device.Op, lbn int64) (time.Duration, bool) {
+func (c *arcCache) access(at time.Duration, req dss.Request, lbn int64) (time.Duration, bool) {
+	op := req.Op
 	c.mu.Lock()
 	e := c.table[lbn]
 
@@ -174,7 +182,7 @@ func (c *arcCache) access(at time.Duration, op device.Op, lbn int64) (time.Durat
 		}
 		pbn := e.meta.pbn
 		c.mu.Unlock()
-		return c.ssd.Access(at, op, pbn, 1), true
+		return submitDev(c.ssdS, at, req, op, pbn, 1), true
 	}
 
 	// Cases II/III: ghost hits adapt the target p.
@@ -188,7 +196,7 @@ func (c *arcCache) access(at time.Duration, op device.Op, lbn int64) (time.Durat
 		e.meta.pbn = c.allocPBN()
 		e.meta.dirty = op == device.Write
 		c.move(e, listT2)
-		return c.finishMiss(at, op, &e.meta)
+		return c.finishMiss(at, req, &e.meta)
 	}
 	if e != nil && e.list == listB2 {
 		delta := 1
@@ -200,7 +208,7 @@ func (c *arcCache) access(at time.Duration, op device.Op, lbn int64) (time.Durat
 		e.meta.pbn = c.allocPBN()
 		e.meta.dirty = op == device.Write
 		c.move(e, listT2)
-		return c.finishMiss(at, op, &e.meta)
+		return c.finishMiss(at, req, &e.meta)
 	}
 
 	// Case IV: full miss.
@@ -226,27 +234,28 @@ func (c *arcCache) access(at time.Duration, op device.Op, lbn int64) (time.Durat
 	ne := &arcEntry{meta: blockMeta{lbn: lbn, pbn: c.allocPBN(), dirty: op == device.Write}, list: listT1}
 	c.table[lbn] = ne
 	c.t1.pushFront(&ne.meta)
-	return c.finishMiss(at, op, &ne.meta)
+	return c.finishMiss(at, req, &ne.meta)
 }
 
 // finishMiss performs the device traffic for an allocation. Caller holds
 // c.mu; it is released here.
-func (c *arcCache) finishMiss(at time.Duration, op device.Op, m *blockMeta) (time.Duration, bool) {
+func (c *arcCache) finishMiss(at time.Duration, req dss.Request, m *blockMeta) (time.Duration, bool) {
+	op := req.Op
 	pbn := m.pbn
 	if op == device.Write {
 		c.base.snap.WriteAllocs++
 		c.mu.Unlock()
-		return c.ssd.Access(at, device.Write, pbn, 1), false
+		return submitDev(c.ssdS, at, req, device.Write, pbn, 1), false
 	}
 	c.base.snap.ReadAllocs++
 	lbn := m.lbn
 	c.mu.Unlock()
-	hddDone := c.hdd.Access(at, device.Read, lbn, 1)
+	hddDone := submitDev(c.hddS, at, req, device.Read, lbn, 1)
 	if c.asyncAlloc {
-		c.ssd.AccessBackground(hddDone, device.Write, pbn, 1)
+		c.ssdS.SubmitBackground(hddDone, device.Write, pbn, 1, req.Class)
 		return hddDone, false
 	}
-	return c.ssd.Access(hddDone, device.Write, pbn, 1), false
+	return submitDev(c.ssdS, hddDone, req, device.Write, pbn, 1), false
 }
 
 func min(a, b int) int {
@@ -275,6 +284,7 @@ func (c *arcCache) ResetStats() {
 	c.mu.Lock()
 	c.base.reset()
 	c.mu.Unlock()
+	c.grp.ResetStats()
 }
 
 // Mode implements System.
@@ -285,6 +295,9 @@ func (c *arcCache) SSD() *device.Device { return c.ssd }
 
 // HDD implements System.
 func (c *arcCache) HDD() *device.Device { return c.hdd }
+
+// Sched implements System.
+func (c *arcCache) Sched() *iosched.Group { return c.grp }
 
 // lens reports (|T1|, |T2|, |B1|, |B2|, p) for white-box tests.
 func (c *arcCache) lens() (int, int, int, int, int) {

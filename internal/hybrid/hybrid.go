@@ -14,6 +14,7 @@ import (
 
 	"hstoragedb/internal/device"
 	"hstoragedb/internal/dss"
+	"hstoragedb/internal/iosched"
 )
 
 // Mode selects the storage configuration used by the evaluation
@@ -84,6 +85,19 @@ type Config struct {
 	// allocation" footnote). The default (false) is synchronous
 	// allocation, as in the prototype.
 	AsyncReadAlloc bool
+
+	// Sched parameterizes the per-device QoS I/O scheduler every
+	// configuration routes its accesses through. The zero value enables
+	// it with defaults; set Sched.Disable for the single-FIFO ablation.
+	Sched iosched.Config
+
+	// CachePrefetched lets the priority cache admit scheduler readahead
+	// completions into spare capacity (never by evicting resident
+	// blocks, pinned log blocks least of all). Off by default: admitting
+	// sequential blocks trades Rule 1's cache purity — and its
+	// guarantee that scans track raw HDD speed — for warm re-reads, so
+	// it is an explicit opt-in.
+	CachePrefetched bool
 }
 
 // withDefaults fills zero fields.
@@ -132,6 +146,9 @@ type Snapshot struct {
 	DirtyEvict  int64
 	Trimmed     int64
 	WBFlushes   int64
+	// Prefetched counts scheduler readahead blocks admitted into spare
+	// cache capacity (never by evicting resident blocks).
+	Prefetched int64
 }
 
 // HitRatio returns total hits over total accessed blocks.
@@ -182,6 +199,11 @@ type System interface {
 	// the passthrough modes).
 	SSD() *device.Device
 	HDD() *device.Device
+	// Sched exposes the I/O scheduling domain of this system's devices:
+	// experiment streams register with it for closed-population
+	// dispatch, and the storage manager drains it before settling
+	// device busy horizons.
+	Sched() *iosched.Group
 }
 
 // New builds a storage system for the given configuration.
@@ -212,6 +234,30 @@ func New(cfg Config) (System, error) {
 		return newARCCache(cfg), nil
 	}
 	return nil, fmt.Errorf("hybrid: unknown mode %v", cfg.Mode)
+}
+
+// attachCacheScheds wires a cache's SSD and HDD into one scheduling
+// domain: the SSD — addressed by recycled cache-slot numbers, not
+// logical LBAs — gets no readahead, while the HDD gets the Rule 1
+// sequential class. Shared by every two-device System implementation.
+func attachCacheScheds(cfg Config, ssd, hdd *device.Device) (*iosched.Group, *iosched.Scheduler, *iosched.Scheduler) {
+	grp := iosched.NewGroup(cfg.Sched)
+	ssdS := grp.Attach(ssd, iosched.NoReadahead)
+	hddS := grp.Attach(hdd, cfg.Policy.Sequential())
+	return grp, ssdS, hddS
+}
+
+// submitDev routes one device access through a scheduler on behalf of a
+// classified request, honouring its stream identity and background
+// flag: background work is queued without blocking (the caller's clock
+// must not advance for it), foreground work returns its completion.
+// Shared by every System implementation.
+func submitDev(s *iosched.Scheduler, at time.Duration, req dss.Request, op device.Op, lba int64, blocks int) time.Duration {
+	if req.Background {
+		s.SubmitBackground(at, op, lba, blocks, req.Class)
+		return at
+	}
+	return s.Submit(at, op, lba, blocks, req.Class, req.Stream)
 }
 
 // statsBase carries the counters shared by all System implementations.

@@ -6,6 +6,7 @@ import (
 
 	"hstoragedb/internal/device"
 	"hstoragedb/internal/dss"
+	"hstoragedb/internal/iosched"
 )
 
 // lruCache is the monitoring-based baseline of the evaluation: the SSD
@@ -22,6 +23,10 @@ type lruCache struct {
 	ssd *device.Device
 	hdd *device.Device
 	lat time.Duration
+
+	grp  *iosched.Group
+	ssdS *iosched.Scheduler
+	hddS *iosched.Scheduler
 
 	capacity   int
 	asyncAlloc bool
@@ -43,6 +48,7 @@ func newLRUCache(cfg Config) *lruCache {
 		asyncAlloc: cfg.AsyncReadAlloc,
 		table:      make(map[int64]*blockMeta),
 	}
+	c.grp, c.ssdS, c.hddS = attachCacheScheds(cfg, c.ssd, c.hdd)
 	c.stack.init()
 	return c
 }
@@ -57,7 +63,7 @@ func (c *lruCache) Submit(at time.Duration, req dss.Request) time.Duration {
 	done := at
 	var hits int64
 	for i := 0; i < req.Blocks; i++ {
-		t, hit := c.access(at, req.Op, req.LBA+int64(i))
+		t, hit := c.access(at, req, req.LBA+int64(i))
 		if hit {
 			hits++
 		}
@@ -71,7 +77,8 @@ func (c *lruCache) Submit(at time.Duration, req dss.Request) time.Duration {
 	return done
 }
 
-func (c *lruCache) access(at time.Duration, op device.Op, lbn int64) (time.Duration, bool) {
+func (c *lruCache) access(at time.Duration, req dss.Request, lbn int64) (time.Duration, bool) {
+	op := req.Op
 	c.mu.Lock()
 	meta := c.table[lbn]
 	if meta != nil {
@@ -81,14 +88,16 @@ func (c *lruCache) access(at time.Duration, op device.Op, lbn int64) (time.Durat
 		}
 		pbn := meta.pbn
 		c.mu.Unlock()
-		return c.ssd.Access(at, op, pbn, 1), true
+		return submitDev(c.ssdS, at, req, op, pbn, 1), true
 	}
 
 	// Miss: always allocate, evicting the LRU block if full.
 	if c.cached >= c.capacity {
 		victim := c.stack.back()
 		if victim.dirty {
-			c.hdd.AccessBackground(at, device.Write, victim.lbn, 1)
+			// A class-blind cache does not know what it is destaging:
+			// the write-back goes out unclassified.
+			c.hddS.SubmitBackground(at, device.Write, victim.lbn, 1, dss.ClassNone)
 			c.base.snap.DirtyEvict++
 		}
 		c.base.snap.Evictions++
@@ -117,14 +126,14 @@ func (c *lruCache) access(at time.Duration, op device.Op, lbn int64) (time.Durat
 	c.mu.Unlock()
 
 	if op == device.Write {
-		return c.ssd.Access(at, device.Write, pbn, 1), false
+		return submitDev(c.ssdS, at, req, device.Write, pbn, 1), false
 	}
-	hddDone := c.hdd.Access(at, device.Read, lbn, 1)
+	hddDone := submitDev(c.hddS, at, req, device.Read, lbn, 1)
 	if c.asyncAlloc {
-		c.ssd.AccessBackground(hddDone, device.Write, pbn, 1)
+		c.ssdS.SubmitBackground(hddDone, device.Write, pbn, 1, req.Class)
 		return hddDone, false
 	}
-	return c.ssd.Access(hddDone, device.Write, pbn, 1), false
+	return submitDev(c.ssdS, hddDone, req, device.Write, pbn, 1), false
 }
 
 // Stats implements System.
@@ -139,6 +148,7 @@ func (c *lruCache) ResetStats() {
 	c.mu.Lock()
 	c.base.reset()
 	c.mu.Unlock()
+	c.grp.ResetStats()
 }
 
 // Mode implements System.
@@ -149,3 +159,6 @@ func (c *lruCache) SSD() *device.Device { return c.ssd }
 
 // HDD implements System.
 func (c *lruCache) HDD() *device.Device { return c.hdd }
+
+// Sched implements System.
+func (c *lruCache) Sched() *iosched.Group { return c.grp }

@@ -6,18 +6,24 @@ import (
 
 	"hstoragedb/internal/device"
 	"hstoragedb/internal/dss"
+	"hstoragedb/internal/iosched"
 )
 
 // passthrough serves every request from a single device: the HDD-only
 // baseline and the SSD-only ideal case of the evaluation. Classes are
 // recorded (so Figure 4's request-diversity counts work under any mode)
-// but have no effect on data placement. TRIM commands complete instantly.
+// but have no effect on data placement; they do, however, reach the
+// device scheduler, so even the passthrough configurations dispatch by
+// class priority. TRIM commands complete instantly.
 type passthrough struct {
 	mu   sync.Mutex
 	base statsBase
 	dev  *device.Device
 	ssd  bool
 	lat  time.Duration
+
+	grp  *iosched.Group
+	devS *iosched.Scheduler
 }
 
 func newPassthrough(cfg Config, ssd bool) *passthrough {
@@ -29,12 +35,15 @@ func newPassthrough(cfg Config, ssd bool) *passthrough {
 	if ssd {
 		mode = SSDOnly
 	}
-	return &passthrough{
+	p := &passthrough{
 		base: newStatsBase(mode),
 		dev:  device.New(spec),
 		ssd:  ssd,
 		lat:  cfg.TransportLat,
+		grp:  iosched.NewGroup(cfg.Sched),
 	}
+	p.devS = p.grp.Attach(p.dev, cfg.Policy.Sequential())
+	return p
 }
 
 // Submit implements dss.Storage.
@@ -43,14 +52,9 @@ func (p *passthrough) Submit(at time.Duration, req dss.Request) time.Duration {
 	if req.Kind == dss.Trim || req.Blocks <= 0 {
 		return at
 	}
-	done := p.dev.Access(at, req.Op, req.LBA, req.Blocks)
+	done := submitDev(p.devS, at, req, req.Op, req.LBA, req.Blocks)
 	p.mu.Lock()
 	p.base.record(req.Class, req.Op, req.Blocks, 0)
-	if p.ssd {
-		// Treat an SSD-only access as a "hit" for ratio purposes: the
-		// paper's SSD-only column has no cache at all, so we only keep
-		// block counters and leave hits at zero.
-	}
 	p.mu.Unlock()
 	return done
 }
@@ -67,6 +71,7 @@ func (p *passthrough) ResetStats() {
 	p.mu.Lock()
 	p.base.reset()
 	p.mu.Unlock()
+	p.grp.ResetStats()
 }
 
 // Mode implements System.
@@ -87,3 +92,6 @@ func (p *passthrough) HDD() *device.Device {
 	}
 	return p.dev
 }
+
+// Sched implements System.
+func (p *passthrough) Sched() *iosched.Group { return p.grp }

@@ -6,6 +6,7 @@ import (
 
 	"hstoragedb/internal/device"
 	"hstoragedb/internal/dss"
+	"hstoragedb/internal/iosched"
 )
 
 // wbGroup is the group id of the write buffer in the groups map. Regular
@@ -35,8 +36,13 @@ type priorityCache struct {
 	pol dss.PolicySpace
 	lat time.Duration
 
+	grp  *iosched.Group
+	ssdS *iosched.Scheduler
+	hddS *iosched.Scheduler
+
 	capacity   int
 	asyncAlloc bool
+	cachePF    bool // admit readahead completions into spare capacity
 
 	table    map[int64]*blockMeta // lbn -> metadata (Section 5.2 hash table)
 	groups   map[int]*lruList     // priority -> LRU group
@@ -56,8 +62,13 @@ func newPriorityCache(cfg Config) *priorityCache {
 		lat:        cfg.TransportLat,
 		capacity:   cfg.CacheBlocks,
 		asyncAlloc: cfg.AsyncReadAlloc,
+		cachePF:    cfg.CachePrefetched,
 		table:      make(map[int64]*blockMeta),
 		groups:     make(map[int]*lruList),
+	}
+	c.grp, c.ssdS, c.hddS = attachCacheScheds(cfg, c.ssd, c.hdd)
+	if c.cachePF {
+		c.hddS.EnablePrefetchFeed()
 	}
 	c.wbLimit = int(float64(cfg.CacheBlocks) * cfg.Policy.WriteBufferFrac)
 	for p := 1; p <= cfg.Policy.N; p++ {
@@ -77,12 +88,17 @@ func newList() *lruList {
 // Submit implements dss.Storage.
 func (c *priorityCache) Submit(at time.Duration, req dss.Request) time.Duration {
 	at += c.lat
+	c.admitPrefetched()
 	if req.Kind == dss.Trim {
 		c.trim(req)
 		return at
 	}
 	if req.Blocks <= 0 {
 		return at
+	}
+
+	if done, ok := c.trySequentialRun(at, req); ok {
+		return done
 	}
 
 	done := at
@@ -92,9 +108,9 @@ func (c *priorityCache) Submit(at time.Duration, req dss.Request) time.Duration 
 		var t time.Duration
 		var hit bool
 		if req.Op == device.Read {
-			t, hit = c.readBlock(at, lbn, req.Class)
+			t, hit = c.readBlock(at, req, lbn)
 		} else {
-			t, hit = c.writeBlock(at, lbn, req.Class)
+			t, hit = c.writeBlock(at, req, lbn)
 		}
 		if hit {
 			hits++
@@ -110,9 +126,69 @@ func (c *priorityCache) Submit(at time.Duration, req dss.Request) time.Duration 
 	return done
 }
 
+// trySequentialRun fast-paths a multi-block sequential-class read whose
+// range is entirely uncached: the whole run bypasses the cache as one
+// scheduler submission instead of per-block traffic, which keeps the
+// HDD's LBA run intact under contention and gives the scheduler a
+// coalesced unit to grant (and to read ahead from). The engine's
+// storage manager submits page-at-a-time (the scheduler's own LBA
+// coalescing covers that shape); this path serves multi-block
+// submissions from library users driving dss.Storage directly. Its
+// accounting matches the per-block path: one record per request,
+// Bypasses counted per block. Returns ok=false when any block is
+// cached, leaving the request to the per-block path.
+func (c *priorityCache) trySequentialRun(at time.Duration, req dss.Request) (time.Duration, bool) {
+	if req.Op != device.Read || req.Blocks <= 1 || req.Class != c.pol.Sequential() {
+		return 0, false
+	}
+	c.mu.Lock()
+	for i := 0; i < req.Blocks; i++ {
+		if c.table[req.LBA+int64(i)] != nil {
+			c.mu.Unlock()
+			return 0, false
+		}
+	}
+	c.base.snap.Bypasses += int64(req.Blocks)
+	c.base.record(req.Class, req.Op, req.Blocks, 0)
+	c.mu.Unlock()
+	return submitDev(c.hddS, at, req, device.Read, req.LBA, req.Blocks), true
+}
+
+// admitPrefetched pulls readahead completions from the HDD scheduler and
+// admits them into spare cache capacity only: prefetched blocks join the
+// "non-caching and eviction" group (first in line for eviction, clean),
+// and are dropped on the floor when the cache is full — prefetch never
+// evicts anything, pinned log blocks least of all. Disabled unless
+// Config.CachePrefetched opted in; the scheduler's own readahead buffer
+// serves the scan stream either way.
+func (c *priorityCache) admitPrefetched() {
+	if !c.cachePF {
+		return
+	}
+	pf := c.hddS.TakePrefetched()
+	if len(pf) == 0 {
+		return
+	}
+	evict := int(c.pol.Eviction())
+	c.mu.Lock()
+	for _, p := range pf {
+		for i := 0; i < p.Blocks; i++ {
+			lbn := p.LBA + int64(i)
+			if c.cached >= c.capacity || c.table[lbn] != nil {
+				continue
+			}
+			meta := c.insert(lbn, evict, false)
+			c.base.snap.Prefetched++
+			c.ssdS.SubmitBackground(p.Ready, device.Write, meta.pbn, 1, c.pol.Eviction())
+		}
+	}
+	c.mu.Unlock()
+}
+
 // readBlock serves one block of a read request and returns (completion
 // time, cache hit).
-func (c *priorityCache) readBlock(at time.Duration, lbn int64, class dss.Class) (time.Duration, bool) {
+func (c *priorityCache) readBlock(at time.Duration, req dss.Request, lbn int64) (time.Duration, bool) {
+	class := req.Class
 	c.mu.Lock()
 	meta := c.table[lbn]
 	if meta != nil {
@@ -120,7 +196,7 @@ func (c *priorityCache) readBlock(at time.Duration, lbn int64, class dss.Class) 
 		pbn := meta.pbn
 		c.reallocate(meta, class)
 		c.mu.Unlock()
-		return c.ssd.Access(at, device.Read, pbn, 1), true
+		return submitDev(c.ssdS, at, req, device.Read, pbn, 1), true
 	}
 
 	if c.pol.NonCaching(class) || class == dss.ClassNone || class == dss.ClassWriteBuffer || class == dss.ClassLog {
@@ -132,7 +208,7 @@ func (c *priorityCache) readBlock(at time.Duration, lbn int64, class dss.Class) 
 		// are not worth allocating for either.
 		c.base.snap.Bypasses++
 		c.mu.Unlock()
-		return c.hdd.Access(at, device.Read, lbn, 1), false
+		return submitDev(c.hddS, at, req, device.Read, lbn, 1), false
 	}
 
 	// Action 2: read allocation.
@@ -142,32 +218,33 @@ func (c *priorityCache) readBlock(at time.Duration, lbn int64, class dss.Class) 
 		// priority, so the request bypasses the cache.
 		c.base.snap.Bypasses++
 		c.mu.Unlock()
-		return c.hdd.Access(at, device.Read, lbn, 1), false
+		return submitDev(c.hddS, at, req, device.Read, lbn, 1), false
 	}
 	meta = c.insert(lbn, k, false)
 	c.base.snap.ReadAllocs++
 	pbn := meta.pbn
 	c.mu.Unlock()
 
-	hddDone := c.hdd.Access(at, device.Read, lbn, 1)
+	hddDone := submitDev(c.hddS, at, req, device.Read, lbn, 1)
 	if c.asyncAlloc {
 		// Asynchronous read allocation: the block is served from the HDD
 		// into the OS and copied into cache off the critical path.
-		c.ssd.AccessBackground(hddDone, device.Write, pbn, 1)
+		c.ssdS.SubmitBackground(hddDone, device.Write, pbn, 1, class)
 		return hddDone, false
 	}
 	// Synchronous read allocation: data is placed into cache before the
 	// read returns.
-	return c.ssd.Access(hddDone, device.Write, pbn, 1), false
+	return submitDev(c.ssdS, hddDone, req, device.Write, pbn, 1), false
 }
 
 // writeBlock serves one block of a write request.
-func (c *priorityCache) writeBlock(at time.Duration, lbn int64, class dss.Class) (time.Duration, bool) {
+func (c *priorityCache) writeBlock(at time.Duration, req dss.Request, lbn int64) (time.Duration, bool) {
+	class := req.Class
 	if class == dss.ClassWriteBuffer {
-		return c.writeBuffered(at, lbn)
+		return c.writeBuffered(at, req, lbn)
 	}
 	if class == dss.ClassLog {
-		return c.writeLog(at, lbn)
+		return c.writeLog(at, req, lbn)
 	}
 
 	c.mu.Lock()
@@ -184,13 +261,13 @@ func (c *priorityCache) writeBlock(at time.Duration, lbn int64, class dss.Class)
 		meta.dirty = true
 		pbn := meta.pbn
 		c.mu.Unlock()
-		return c.ssd.Access(at, device.Write, pbn, 1), true
+		return submitDev(c.ssdS, at, req, device.Write, pbn, 1), true
 	}
 
 	if c.pol.NonCaching(class) || class == dss.ClassNone {
 		c.base.snap.Bypasses++
 		c.mu.Unlock()
-		return c.hdd.Access(at, device.Write, lbn, 1), false
+		return submitDev(c.hddS, at, req, device.Write, lbn, 1), false
 	}
 
 	// Action 3: write allocation — incoming blocks are placed in cache,
@@ -199,18 +276,18 @@ func (c *priorityCache) writeBlock(at time.Duration, lbn int64, class dss.Class)
 	if !c.ensureSpace(at, k, false) {
 		c.base.snap.Bypasses++
 		c.mu.Unlock()
-		return c.hdd.Access(at, device.Write, lbn, 1), false
+		return submitDev(c.hddS, at, req, device.Write, lbn, 1), false
 	}
 	meta = c.insert(lbn, k, true)
 	c.base.snap.WriteAllocs++
 	pbn := meta.pbn
 	c.mu.Unlock()
-	return c.ssd.Access(at, device.Write, pbn, 1), false
+	return submitDev(c.ssdS, at, req, device.Write, pbn, 1), false
 }
 
 // writeBuffered handles Rule 4 updates: they win cache space over any
 // other priority, bounded by the write-buffer budget b.
-func (c *priorityCache) writeBuffered(at time.Duration, lbn int64) (time.Duration, bool) {
+func (c *priorityCache) writeBuffered(at time.Duration, req dss.Request, lbn int64) (time.Duration, bool) {
 	c.mu.Lock()
 	meta := c.table[lbn]
 	hit := meta != nil
@@ -222,7 +299,7 @@ func (c *priorityCache) writeBuffered(at time.Duration, lbn int64) (time.Duratio
 			if !c.ensureSpace(at, 0, true) {
 				c.base.snap.Bypasses++
 				c.mu.Unlock()
-				return c.hdd.Access(at, device.Write, lbn, 1), false
+				return submitDev(c.hddS, at, req, device.Write, lbn, 1), false
 			}
 		}
 		meta = c.insert(lbn, wbGroup, true)
@@ -245,7 +322,7 @@ func (c *priorityCache) writeBuffered(at time.Duration, lbn int64) (time.Duratio
 		c.flushWriteBuffer(at)
 	}
 	c.mu.Unlock()
-	return c.ssd.Access(at, device.Write, pbn, 1), hit
+	return submitDev(c.ssdS, at, req, device.Write, pbn, 1), hit
 }
 
 // writeLog serves a write carrying the pinned log class: the block is
@@ -253,7 +330,7 @@ func (c *priorityCache) writeBuffered(at time.Duration, lbn int64) (time.Duratio
 // — the commit-critical completion time is the SSD write, while the HDD
 // copy is destaged in the background, so neither eviction nor TRIM ever
 // owes the block a write-back.
-func (c *priorityCache) writeLog(at time.Duration, lbn int64) (time.Duration, bool) {
+func (c *priorityCache) writeLog(at time.Duration, req dss.Request, lbn int64) (time.Duration, bool) {
 	c.mu.Lock()
 	meta := c.table[lbn]
 	hit := meta != nil
@@ -263,7 +340,7 @@ func (c *priorityCache) writeLog(at time.Duration, lbn int64) (time.Duration, bo
 			// falls through to the HDD.
 			c.base.snap.Bypasses++
 			c.mu.Unlock()
-			return c.hdd.Access(at, device.Write, lbn, 1), false
+			return submitDev(c.hddS, at, req, device.Write, lbn, 1), false
 		}
 		meta = c.insert(lbn, logGroup, false)
 		c.base.snap.WriteAllocs++
@@ -281,8 +358,8 @@ func (c *priorityCache) writeLog(at time.Duration, lbn int64) (time.Duration, bo
 	}
 	pbn := meta.pbn
 	c.mu.Unlock()
-	c.hdd.AccessBackground(at, device.Write, lbn, 1)
-	return c.ssd.Access(at, device.Write, pbn, 1), hit
+	c.hddS.SubmitBackground(at, device.Write, lbn, 1, req.Class)
+	return submitDev(c.ssdS, at, req, device.Write, pbn, 1), hit
 }
 
 // flushWriteBuffer writes every dirty write-buffer block to the HDD in
@@ -296,7 +373,7 @@ func (c *priorityCache) flushWriteBuffer(at time.Duration) {
 	for g.len() > 0 {
 		meta := g.back()
 		if meta.dirty {
-			c.hdd.AccessBackground(at, device.Write, meta.lbn, 1)
+			c.hddS.SubmitBackground(at, device.Write, meta.lbn, 1, dss.ClassWriteBuffer)
 			meta.dirty = false
 		}
 		c.moveGroup(meta, demoteTo)
@@ -394,7 +471,7 @@ func (c *priorityCache) ensureSpace(at time.Duration, k int, forWB bool) bool {
 // Caller holds c.mu.
 func (c *priorityCache) evict(at time.Duration, meta *blockMeta) {
 	if meta.dirty {
-		c.hdd.AccessBackground(at, device.Write, meta.lbn, 1)
+		c.hddS.SubmitBackground(at, device.Write, meta.lbn, 1, groupClass(meta.class))
 		c.base.snap.DirtyEvict++
 	}
 	c.base.snap.Evictions++
@@ -428,6 +505,19 @@ func (c *priorityCache) insert(lbn int64, k int, dirty bool) *blockMeta {
 	c.groups[k].pushFront(meta)
 	c.cached++
 	return meta
+}
+
+// groupClass maps a cache group id back to the dss class its destage
+// traffic carries.
+func groupClass(group int) dss.Class {
+	switch group {
+	case wbGroup:
+		return dss.ClassWriteBuffer
+	case logGroup:
+		return dss.ClassLog
+	default:
+		return dss.Class(group)
+	}
 }
 
 // moveGroup transfers a block between priority groups. Caller holds c.mu.
@@ -465,6 +555,7 @@ func (c *priorityCache) ResetStats() {
 	c.mu.Lock()
 	c.base.reset()
 	c.mu.Unlock()
+	c.grp.ResetStats()
 }
 
 // Mode implements System.
@@ -475,6 +566,9 @@ func (c *priorityCache) SSD() *device.Device { return c.ssd }
 
 // HDD implements System.
 func (c *priorityCache) HDD() *device.Device { return c.hdd }
+
+// Sched implements System.
+func (c *priorityCache) Sched() *iosched.Group { return c.grp }
 
 // GroupLens reports the number of cached blocks per priority group,
 // including the write buffer under key -1. Used by tests and ablations.

@@ -1,0 +1,741 @@
+// Package iosched implements a QoS-aware per-device I/O scheduler for
+// the simulated storage stack.
+//
+// The paper's thesis is that carrying classification down the stack lets
+// the storage system pick a better service mechanism per request. The
+// hybrid cache (package hybrid) exploits classes for data *placement*;
+// this package extends the same idea to device *scheduling*: instead of
+// serving every request through a single FIFO (simclock.Resource call
+// order), each device gets per-class priority queues ordered by the same
+// dss class priorities the cache uses, so a pinned ClassLog commit write
+// no longer waits behind a background write-back or a low-priority scan.
+//
+// The scheduler provides three mechanisms:
+//
+//   - Priority dispatch: pending requests are granted strictly by class
+//     rank (log > write buffer > priority 1..N > unclassified), with an
+//     aging bound — a request that would wait longer than AgingBound
+//     beyond its arrival is granted next regardless of rank, so low
+//     classes cannot starve.
+//   - Coalescing: LBA-adjacent pending requests of the same class and
+//     direction are merged into a single larger device access (bounded
+//     by MaxCoalesce blocks), turning interleaved per-block traffic
+//     back into the sequential runs the HDD model rewards.
+//   - Readahead: a granted read carrying the sequential-scan class
+//     (Rule 1 traffic) is extended by Readahead blocks into a prefetch
+//     buffer; subsequent scan reads are served from the buffer without
+//     re-occupying the device, and prefetch completions are offered to
+//     the cache through TakePrefetched (the priority cache admits them
+//     into spare capacity only, never evicting anything).
+//
+// # Dispatch model
+//
+// The simulator is synchronous: a submitter must receive its completion
+// time before it can continue, so a request can only be reordered
+// against requests that are queued at the same real-time moment. The
+// scheduler therefore runs in two modes:
+//
+//   - Closed-population (barrier) mode: experiment streams register
+//     their session clocks with the Group. A pending request is granted
+//     only once every registered stream is blocked in the scheduler,
+//     which makes the grant order a faithful discrete-event simulation
+//     of the contending population: the highest-ranked request wins the
+//     device no matter which goroutine called first. Registered streams
+//     must perform their I/O independently (a stream must not block on
+//     a lock another registered stream holds across a submission).
+//   - Opportunistic mode (nothing registered): the first submitter
+//     becomes the dispatcher and drains the queue in priority order,
+//     yielding the CPU between grants so concurrently arriving requests
+//     can still be reordered. A lone stream degenerates to FIFO, which
+//     keeps single-query runs identical in spirit to the seed model.
+//
+// Background work (write-back destages, asynchronous flushes) is queued
+// in a band below every foreground class and granted only when the
+// device has no foreground work waiting; it is exempt from aging, so a
+// saturated foreground phase can grow the destage backlog without bound
+// (write-back throttling is a named follow-up).
+package iosched
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"hstoragedb/internal/device"
+	"hstoragedb/internal/dss"
+	"hstoragedb/internal/simclock"
+)
+
+// Config parameterizes a scheduler group. The zero value enables the
+// scheduler with the defaults below; set Disable for the FIFO ablation.
+type Config struct {
+	// Disable bypasses the queues entirely: every request goes straight
+	// to the device in call order, reproducing the seed's single-FIFO
+	// behaviour. Latency histograms are still recorded.
+	Disable bool
+
+	// FIFO keeps the queue and closed-population machinery (so
+	// experiment arms see identical contention) but grants strictly in
+	// arrival order with no class priority, no aging, no coalescing and
+	// no readahead: the scheduler-off ablation of the contention
+	// experiment. Ignored when Disable is set.
+	FIFO bool
+
+	// AgingBound is the longest a queued request may wait (virtual
+	// time, measured against the device's busy horizon) before it is
+	// granted regardless of its class rank. Zero means the default of
+	// 10ms; negative disables aging.
+	AgingBound time.Duration
+
+	// MaxCoalesce caps the size in blocks of one coalesced device
+	// access. Larger accesses amortize positioning cost but hold the
+	// device longer, delaying high-priority arrivals. Zero means the
+	// default of 64 blocks (512 KB).
+	MaxCoalesce int
+
+	// Readahead is the number of blocks prefetched past a granted
+	// sequential-class read. Zero means the default of 32; negative
+	// disables readahead.
+	Readahead int
+
+	// ReadaheadCap bounds the prefetch buffer in blocks. Zero means
+	// 8 * Readahead.
+	ReadaheadCap int
+}
+
+const (
+	defaultAgingBound  = 10 * time.Millisecond
+	defaultMaxCoalesce = 64
+	defaultReadahead   = 32
+)
+
+func (c Config) withDefaults() Config {
+	if c.AgingBound == 0 {
+		c.AgingBound = defaultAgingBound
+	}
+	if c.MaxCoalesce <= 0 {
+		c.MaxCoalesce = defaultMaxCoalesce
+	}
+	if c.Readahead == 0 {
+		c.Readahead = defaultReadahead
+	}
+	if c.ReadaheadCap <= 0 && c.Readahead > 0 {
+		c.ReadaheadCap = 8 * c.Readahead
+	}
+	return c
+}
+
+// backgroundBand offsets the rank of background requests below every
+// foreground class.
+const backgroundBand = 1 << 24
+
+// NoReadahead is a sentinel seqClass for Attach that matches no real
+// request class, disabling readahead on that device. Cache devices need
+// it: their address space is physical cache slots (PBNs, recycled
+// arbitrarily), so "the next 32 blocks" after a cache hit are
+// physically meaningless and must not be prefetched.
+const NoReadahead = dss.Class(-1 << 30)
+
+// classRank maps a dss class to its dispatch rank (smaller is granted
+// first). The order mirrors the cache's priority ladder: pinned log
+// traffic first, then the write buffer, then caching priorities 1..N
+// (which places Rule 1 sequential traffic at N-1 and "non-caching and
+// eviction" at N near the bottom), with unclassified requests below all
+// classified ones.
+func classRank(c dss.Class) int {
+	switch c {
+	case dss.ClassLog:
+		return -2
+	case dss.ClassWriteBuffer:
+		return -1
+	case dss.ClassNone:
+		return 1 << 20
+	default:
+		return int(c)
+	}
+}
+
+// waiter tracks one Submit call; a multi-chunk submission shares one
+// waiter across its chunk requests. arrive and class feed the one
+// latency sample recorded per submission (not per chunk, so the FIFO
+// and scheduler arms produce comparable histograms).
+type waiter struct {
+	remaining  int
+	completion time.Duration
+	arrive     time.Duration
+	class      dss.Class
+	barrier    bool
+	done       chan struct{}
+}
+
+// request is one schedulable unit: a chunk of a foreground submission or
+// one background access.
+type request struct {
+	op     device.Op
+	lba    int64
+	blocks int
+	class  dss.Class
+	rank   int
+	arrive time.Duration
+	seq    uint64
+	w      *waiter // nil for background work
+}
+
+// Prefetched describes one readahead run completed by the device,
+// offered to the cache layer through TakePrefetched.
+type Prefetched struct {
+	// LBA and Blocks delimit the prefetched run.
+	LBA    int64
+	Blocks int
+	// Ready is the virtual time the run finished transferring.
+	Ready time.Duration
+}
+
+// Stats are cumulative counters for one scheduler (one device).
+type Stats struct {
+	// Submitted counts foreground submissions; Granted counts device
+	// accesses actually issued (after coalescing and chunk merging).
+	Submitted int64
+	Granted   int64
+	// Coalesced counts queued requests merged into another grant.
+	Coalesced int64
+	// Boosted counts grants where the aging bound overrode strict
+	// priority order.
+	Boosted int64
+	// PrefetchBlocks counts blocks read ahead; PrefetchHits counts
+	// blocks later served from the readahead buffer without a device
+	// access.
+	PrefetchBlocks int64
+	PrefetchHits   int64
+	// MaxQueue is the deepest the pending queue has been.
+	MaxQueue int
+}
+
+// Group is the scheduling domain of one storage system: the schedulers
+// of its devices plus the registry of closed-population streams. All
+// schedulers of a group share one mutex so a dispatch round can grant
+// across devices consistently.
+type Group struct {
+	mu          sync.Mutex
+	cfg         Config
+	scheds      []*Scheduler
+	registered  map[*simclock.Clock]struct{}
+	blocked     int
+	dispatching bool
+}
+
+// NewGroup creates an empty scheduling domain.
+func NewGroup(cfg Config) *Group {
+	return &Group{cfg: cfg.withDefaults(), registered: make(map[*simclock.Clock]struct{})}
+}
+
+// Attach wires a device into the group and returns its scheduler.
+// seqClass is the class the policy space assigns to sequential-scan
+// traffic (Rule 1): reads carrying it trigger readahead. Pass
+// NoReadahead for devices whose address space is not logical LBAs
+// (cache devices addressed by recycled slot numbers).
+func (g *Group) Attach(dev *device.Device, seqClass dss.Class) *Scheduler {
+	s := &Scheduler{g: g, dev: dev, seqClass: seqClass}
+	if g.cfg.Readahead > 0 && !g.cfg.FIFO && seqClass != NoReadahead {
+		s.ra = make(map[int64]time.Duration)
+	}
+	g.mu.Lock()
+	g.scheds = append(g.scheds, s)
+	g.mu.Unlock()
+	return s
+}
+
+// Register enrolls a stream (identified by its session clock) into the
+// closed population. While any stream is registered, grants happen only
+// when every registered stream is blocked in the scheduler, which makes
+// priority order authoritative regardless of goroutine timing. Streams
+// must Unregister (typically via defer) when their workload ends.
+func (g *Group) Register(clk *simclock.Clock) {
+	g.mu.Lock()
+	g.registered[clk] = struct{}{}
+	g.mu.Unlock()
+}
+
+// Unregister withdraws a stream from the closed population. The stream
+// must have no submission in flight. When the last stream leaves, any
+// queued work is drained.
+func (g *Group) Unregister(clk *simclock.Clock) {
+	g.mu.Lock()
+	delete(g.registered, clk)
+	if len(g.registered) == 0 {
+		g.drainLocked()
+	} else if g.blocked >= len(g.registered) {
+		g.dispatchLocked()
+	}
+	g.mu.Unlock()
+}
+
+// Drain grants every queued request (background flushes included) in
+// priority order. The storage manager calls it before settling device
+// busy horizons at the end of a run.
+func (g *Group) Drain() {
+	g.mu.Lock()
+	g.drainLocked()
+	g.mu.Unlock()
+}
+
+// ResetStats clears every scheduler's counters (not the readahead
+// buffer contents).
+func (g *Group) ResetStats() {
+	g.mu.Lock()
+	for _, s := range g.scheds {
+		s.stats = Stats{}
+	}
+	g.mu.Unlock()
+}
+
+// Schedulers returns the group's schedulers in attach order.
+func (g *Group) Schedulers() []*Scheduler {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]*Scheduler(nil), g.scheds...)
+}
+
+// dispatchLocked runs barrier-mode rounds: grant in priority order until
+// some registered stream is released, then let due background work
+// trickle onto the device. Caller holds g.mu.
+func (g *Group) dispatchLocked() {
+	for len(g.registered) > 0 && g.blocked >= len(g.registered) {
+		progress := false
+		for _, s := range g.scheds {
+			if len(s.pending) == 0 {
+				continue
+			}
+			if s.grantBestLocked() {
+				progress = true
+			}
+			if g.blocked < len(g.registered) {
+				break
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	for _, s := range g.scheds {
+		s.grantDueBackgroundLocked()
+	}
+}
+
+// drainLocked grants until every queue is empty, yielding between grants
+// so concurrently arriving requests can join the priority order. Caller
+// holds g.mu. Re-entrant calls (a drain triggered while another is in a
+// yield window) return immediately.
+func (g *Group) drainLocked() {
+	if g.dispatching {
+		return
+	}
+	g.dispatching = true
+	for {
+		n := 0
+		for _, s := range g.scheds {
+			if len(s.pending) > 0 {
+				s.grantBestLocked()
+			}
+			n += len(s.pending)
+		}
+		if n == 0 {
+			break
+		}
+		g.mu.Unlock()
+		runtime.Gosched()
+		g.mu.Lock()
+	}
+	g.dispatching = false
+}
+
+// Scheduler orders the traffic of one device.
+type Scheduler struct {
+	g        *Group
+	dev      *device.Device
+	seqClass dss.Class
+
+	pending []*request
+	seq     uint64
+	stats   Stats
+
+	ra        map[int64]time.Duration // prefetch buffer: lba -> ready time
+	raOrder   []int64                 // FIFO eviction order (may hold stale keys)
+	prefetchq []Prefetched            // completions awaiting TakePrefetched
+	feed      bool                    // accumulate prefetchq (a consumer polls)
+}
+
+// Device returns the device this scheduler feeds.
+func (s *Scheduler) Device() *device.Device { return s.dev }
+
+// Stats returns a snapshot of the scheduler counters.
+func (s *Scheduler) Stats() Stats {
+	s.g.mu.Lock()
+	defer s.g.mu.Unlock()
+	return s.stats
+}
+
+// Submit delivers a foreground request: the caller's stream waits (in
+// virtual time) for its completion, which is returned. If stream is a
+// clock registered with the group, the request takes part in
+// closed-population dispatch; otherwise it is granted opportunistically.
+func (s *Scheduler) Submit(at time.Duration, op device.Op, lba int64, blocks int, class dss.Class, stream *simclock.Clock) time.Duration {
+	if blocks <= 0 {
+		return at
+	}
+	if s.g.cfg.Disable {
+		return s.dev.AccessQueued(at, at, op, lba, blocks, int(class))
+	}
+	g := s.g
+	g.mu.Lock()
+	s.stats.Submitted++
+	if op == device.Write {
+		s.invalidateRALocked(lba, blocks)
+	}
+	floor := at
+	if op == device.Read && s.ra != nil {
+		// Serve the run's prefix from the readahead buffer: scan
+		// traffic consumes the blocks the previous grant prefetched.
+		for blocks > 0 {
+			ready, ok := s.ra[lba]
+			if !ok {
+				break
+			}
+			delete(s.ra, lba)
+			s.stats.PrefetchHits++
+			if ready > floor {
+				floor = ready
+			}
+			lba++
+			blocks--
+		}
+		if blocks == 0 {
+			s.dev.ObserveLatency(int(class), floor-at)
+			g.mu.Unlock()
+			return floor
+		}
+	}
+
+	w := &waiter{done: make(chan struct{}), arrive: at, class: class}
+	s.enqueueLocked(w, at, op, lba, blocks, class)
+	if stream != nil {
+		if _, ok := g.registered[stream]; ok {
+			w.barrier = true
+			g.blocked++
+			if g.blocked >= len(g.registered) {
+				g.dispatchLocked()
+			}
+			g.mu.Unlock()
+			<-w.done
+			if floor > w.completion {
+				return floor
+			}
+			return w.completion
+		}
+	}
+	g.drainLocked()
+	g.mu.Unlock()
+	<-w.done
+	if floor > w.completion {
+		return floor
+	}
+	return w.completion
+}
+
+// SubmitBackground queues work no requester waits on (write-back
+// destages, asynchronous cache fills). It is granted below every
+// foreground class, only when the device would otherwise idle, and is
+// exempt from aging — nobody waits on it, so it must never jump ahead
+// of foreground traffic. Safe to call while holding caller locks: it
+// never blocks on a grant.
+func (s *Scheduler) SubmitBackground(at time.Duration, op device.Op, lba int64, blocks int, class dss.Class) {
+	if blocks <= 0 {
+		return
+	}
+	if s.g.cfg.Disable {
+		d := s.dev
+		d.AccessBackground(at, op, lba, blocks)
+		return
+	}
+	g := s.g
+	g.mu.Lock()
+	if op == device.Write {
+		s.invalidateRALocked(lba, blocks)
+	}
+	s.enqueueLocked(nil, at, op, lba, blocks, class)
+	if len(g.registered) == 0 {
+		g.drainLocked()
+	}
+	g.mu.Unlock()
+}
+
+// EnablePrefetchFeed makes the scheduler retain readahead completions
+// for TakePrefetched. Without a registered consumer nothing is
+// accumulated, so configurations that never poll cannot leak memory.
+func (s *Scheduler) EnablePrefetchFeed() {
+	s.g.mu.Lock()
+	s.feed = true
+	s.g.mu.Unlock()
+}
+
+// TakePrefetched returns and clears the prefetch completions accumulated
+// since the last call. The hybrid cache polls it to admit prefetched
+// blocks into spare capacity; call EnablePrefetchFeed first.
+func (s *Scheduler) TakePrefetched() []Prefetched {
+	s.g.mu.Lock()
+	out := s.prefetchq
+	s.prefetchq = nil
+	s.g.mu.Unlock()
+	return out
+}
+
+// enqueueLocked splits a submission into MaxCoalesce-sized chunks (so a
+// long scan run cannot monopolize the device between grants) and queues
+// them. FIFO mode queues the submission whole, as the legacy elevator
+// would. Caller holds g.mu.
+func (s *Scheduler) enqueueLocked(w *waiter, at time.Duration, op device.Op, lba int64, blocks int, class dss.Class) {
+	rank := classRank(class)
+	if w == nil {
+		rank += backgroundBand
+	}
+	max := s.g.cfg.MaxCoalesce
+	if s.g.cfg.FIFO {
+		max = blocks
+	}
+	for blocks > 0 {
+		n := blocks
+		if n > max {
+			n = max
+		}
+		r := &request{op: op, lba: lba, blocks: n, class: class, rank: rank, arrive: at, seq: s.seq, w: w}
+		s.seq++
+		if w != nil {
+			w.remaining++
+		}
+		s.pending = append(s.pending, r)
+		lba += int64(n)
+		blocks -= n
+	}
+	if len(s.pending) > s.stats.MaxQueue {
+		s.stats.MaxQueue = len(s.pending)
+	}
+}
+
+// pickLocked chooses the next request: the oldest foreground request
+// whose wait would exceed the aging bound, else the best (rank, seq).
+// Background work is exempt from aging — nobody waits on it, so it must
+// never jump ahead of commit-critical traffic (its backlog drains when
+// the foreground queue idles; write-back throttling is future work).
+// FIFO mode picks strictly by arrival. Returns -1 on an empty queue.
+// Caller holds g.mu.
+func (s *Scheduler) pickLocked() int {
+	if len(s.pending) == 0 {
+		return -1
+	}
+	if s.g.cfg.FIFO {
+		oldest := 0
+		for i, r := range s.pending {
+			if olderThan(r, s.pending[oldest]) {
+				oldest = i
+			}
+		}
+		return oldest
+	}
+	busy := s.dev.BusyUntil()
+	bound := s.g.cfg.AgingBound
+	best, overdue := -1, -1
+	for i, r := range s.pending {
+		if r.w != nil && bound > 0 && busy-r.arrive > bound {
+			if overdue < 0 || olderThan(r, s.pending[overdue]) {
+				overdue = i
+			}
+		}
+		if best < 0 || betterThan(r, s.pending[best]) {
+			best = i
+		}
+	}
+	if overdue >= 0 && overdue != best {
+		s.stats.Boosted++
+		return overdue
+	}
+	return best
+}
+
+func olderThan(a, b *request) bool {
+	if a.arrive != b.arrive {
+		return a.arrive < b.arrive
+	}
+	return a.seq < b.seq
+}
+
+func betterThan(a, b *request) bool {
+	if a.rank != b.rank {
+		return a.rank < b.rank
+	}
+	return a.seq < b.seq
+}
+
+// remove drops index i from the pending queue, preserving order. Caller
+// holds g.mu.
+func (s *Scheduler) remove(i int) *request {
+	r := s.pending[i]
+	s.pending = append(s.pending[:i], s.pending[i+1:]...)
+	return r
+}
+
+// grantBestLocked picks, coalesces and grants one device access. It
+// reports whether anything was granted. Caller holds g.mu.
+func (s *Scheduler) grantBestLocked() bool {
+	i := s.pickLocked()
+	if i < 0 {
+		return false
+	}
+	head := s.remove(i)
+	batch := []*request{head}
+	start, end := head.lba, head.lba+int64(head.blocks)
+	total := head.blocks
+	if s.g.cfg.FIFO {
+		s.grantLocked(batch, start, total)
+		return true
+	}
+	// Coalesce LBA-adjacent queued requests of the same class and
+	// direction into one access.
+	for total < s.g.cfg.MaxCoalesce {
+		found := -1
+		prepend := false
+		for j, p := range s.pending {
+			if p.op != head.op || p.class != head.class || total+p.blocks > s.g.cfg.MaxCoalesce {
+				continue
+			}
+			if p.lba == end {
+				found = j
+				break
+			}
+			if p.lba+int64(p.blocks) == start {
+				found, prepend = j, true
+				break
+			}
+		}
+		if found < 0 {
+			break
+		}
+		p := s.remove(found)
+		if prepend {
+			start = p.lba
+			batch = append([]*request{p}, batch...)
+		} else {
+			end += int64(p.blocks)
+			batch = append(batch, p)
+		}
+		total += p.blocks
+		s.stats.Coalesced++
+	}
+	s.grantLocked(batch, start, total)
+	return true
+}
+
+// grantDueBackgroundLocked lets one batch of queued background work onto
+// the device when no foreground request is waiting. At most one batch
+// per dispatch event keeps destage bursts from monopolizing the device
+// just because the foreground queue went momentarily empty; the rest of
+// the backlog follows on later dispatches or the final Drain. Caller
+// holds g.mu.
+func (s *Scheduler) grantDueBackgroundLocked() {
+	for _, r := range s.pending {
+		if r.w != nil {
+			return
+		}
+	}
+	if len(s.pending) == 0 {
+		return
+	}
+	s.grantBestLocked()
+}
+
+// grantLocked issues one device access for a coalesced batch and
+// completes its requests. Caller holds g.mu.
+func (s *Scheduler) grantLocked(batch []*request, start int64, total int) {
+	head := batch[0]
+	arrive := batch[0].arrive
+	for _, r := range batch[1:] {
+		if r.arrive < arrive {
+			arrive = r.arrive
+		}
+	}
+	// Readahead: extend a sequential-class read past the run so the
+	// scan's next request is served from the buffer.
+	extra := 0
+	if head.w != nil && head.op == device.Read && head.class == s.seqClass && s.ra != nil {
+		if _, ok := s.ra[start+int64(total)]; !ok {
+			extra = s.g.cfg.Readahead
+		}
+	}
+	end := s.dev.Access(arrive, head.op, start, total+extra)
+	if extra > 0 {
+		base := start + int64(total)
+		for j := 0; j < extra; j++ {
+			s.insertRALocked(base+int64(j), end)
+		}
+		if s.feed {
+			s.prefetchq = append(s.prefetchq, Prefetched{LBA: base, Blocks: extra, Ready: end})
+		}
+		s.stats.PrefetchBlocks += int64(extra)
+	}
+	s.stats.Granted++
+	for _, r := range batch {
+		if r.w == nil {
+			continue
+		}
+		if end > r.w.completion {
+			r.w.completion = end
+		}
+		r.w.remaining--
+		if r.w.remaining == 0 {
+			// One latency sample per submission, at its last chunk.
+			s.dev.ObserveLatency(int(r.w.class), r.w.completion-r.w.arrive)
+			if r.w.barrier {
+				s.g.blocked--
+			}
+			close(r.w.done)
+		}
+	}
+}
+
+// insertRALocked adds one block to the prefetch buffer, evicting the
+// oldest entries beyond capacity. Caller holds g.mu.
+func (s *Scheduler) insertRALocked(lba int64, ready time.Duration) {
+	if _, ok := s.ra[lba]; ok {
+		s.ra[lba] = ready
+		return
+	}
+	s.ra[lba] = ready
+	s.raOrder = append(s.raOrder, lba)
+	for len(s.ra) > s.g.cfg.ReadaheadCap && len(s.raOrder) > 0 {
+		old := s.raOrder[0]
+		s.raOrder = s.raOrder[1:]
+		delete(s.ra, old)
+	}
+	// Consumed and invalidated blocks leave stale keys behind in
+	// raOrder; compact it once it grows well past the live buffer so it
+	// cannot grow without bound under a long consuming scan.
+	if len(s.raOrder) > 4*s.g.cfg.ReadaheadCap {
+		live := s.raOrder[:0]
+		for _, k := range s.raOrder {
+			if _, ok := s.ra[k]; ok {
+				live = append(live, k)
+			}
+		}
+		s.raOrder = live
+	}
+}
+
+// invalidateRALocked drops buffered blocks overwritten by a write, so a
+// later read pays for the fresh copy. Caller holds g.mu.
+func (s *Scheduler) invalidateRALocked(lba int64, blocks int) {
+	if s.ra == nil {
+		return
+	}
+	for i := 0; i < blocks; i++ {
+		delete(s.ra, lba+int64(i))
+	}
+}

@@ -6,7 +6,8 @@
 // bytes of every page live here, in the role the disk platters play on a
 // real system. Objects are laid out in contiguous extents so that a
 // sequential scan of an object produces a sequential LBA run — the
-// property Rule 1 of the paper depends on.
+// property Rule 1 of the paper depends on, and the property the device
+// I/O scheduler's coalescing and readahead (package iosched) exploit.
 //
 // Deleting an object releases its extents and reports them to the caller
 // so the storage manager can issue TRIM commands (Section 4.2.3).

@@ -70,7 +70,10 @@ func (c *Clock) Reset() {
 // Resource is a serially shared facility (a disk, an SSD, a network link).
 // Concurrent streams that use the same Resource queue behind one another:
 // service is granted in call order, and each call returns the completion
-// time of the request.
+// time of the request. Device traffic normally reaches a Resource through
+// the QoS I/O scheduler (package iosched), which decides the call order —
+// and therefore the service order — by class priority rather than by
+// submission order.
 type Resource struct {
 	mu        sync.Mutex
 	busyUntil Duration
