@@ -6,16 +6,23 @@
 //
 //	hbench -exp all
 //	hbench -exp fig5,fig6,table5 -sf 0.02 -cache 0.7
+//	hbench -exp txnscale -workers 1,2,4,8 -json metrics.json
 //
 // Experiments: fig4, fig5, table4, fig6, table5, table6, fig9, table7,
-// fig11 (includes table8), table9, fig12, oltp, iosched, all.
+// fig11 (includes table8), table9, fig12, oltp, iosched, txnscale, all.
+//
+// With -json, every experiment's structured results are also written to
+// the given file as one JSON document keyed by experiment id, so
+// successive runs can be compared mechanically (a bench trajectory).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 
 	"hstoragedb/internal/experiments"
@@ -23,14 +30,16 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	exp := flag.String("exp", "all", "comma-separated experiment ids (fig4 fig5 table4 fig6 table5 table6 fig9 table7 fig11 table9 fig12 oltp iosched all)")
+	exp := flag.String("exp", "all", "comma-separated experiment ids (fig4 fig5 table4 fig6 table5 table6 fig9 table7 fig11 table9 fig12 oltp iosched txnscale all)")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
 	cache := flag.Float64("cache", 0.7, "SSD cache size as a fraction of total data pages")
 	bp := flag.Float64("bp", 0.04, "buffer pool size as a fraction of total data pages")
 	workMem := flag.Int("workmem", 3000, "blocking-operator memory budget in tuples")
 	seed := flag.Int64("seed", 0, "query parameter seed")
 	streams := flag.Int("streams", 3, "query streams in the throughput and iosched tests")
-	txns := flag.Int("txns", 150, "transactions per configuration in the OLTP/iosched experiments")
+	txns := flag.Int("txns", 150, "transactions per configuration in the OLTP/iosched experiments; total transactions per sweep point in txnscale (split across workers)")
+	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts for the txnscale experiment")
+	jsonPath := flag.String("json", "", "write per-experiment metrics to this file as JSON")
 	flag.Parse()
 
 	cfg := experiments.Config{
@@ -39,6 +48,11 @@ func main() {
 		BufferPoolRatio: *bp,
 		WorkMem:         *workMem,
 		Seed:            *seed,
+	}
+
+	workers, err := parseWorkers(*workersFlag)
+	if err != nil {
+		log.Fatalf("-workers: %v", err)
 	}
 
 	want := map[string]bool{}
@@ -57,110 +71,123 @@ func main() {
 	}
 	fmt.Printf("loaded: %d data pages (%.1f MB)\n\n", env.Data, float64(env.Data)*8/1024)
 
+	// metrics accumulates each experiment's structured results for -json.
+	metrics := map[string]any{"config": cfg}
+
 	ran := false
-	run := func(id string, f func() error) {
+	run := func(id string, f func() (any, error)) {
 		if !has(id) {
 			return
 		}
 		ran = true
-		if err := f(); err != nil {
+		result, err := f()
+		if err != nil {
 			log.Fatalf("%s: %v", id, err)
 		}
+		metrics[id] = result
 		fmt.Println()
 	}
 
-	run("fig4", func() error {
+	run("fig4", func() (any, error) {
 		shares, err := env.Fig4()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Print(experiments.FormatFig4(shares))
-		return nil
+		return shares, nil
 	})
-	run("fig5", func() error {
+	run("fig5", func() (any, error) {
 		rows, err := env.Fig5()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Print(experiments.FormatModeTimes("Figure 5: sequential-dominated queries (Q1, Q5, Q11, Q19)", rows))
-		return nil
+		return rows, nil
 	})
-	run("table4", func() error {
+	run("table4", func() (any, error) {
 		rows, err := env.Table4()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Print(experiments.FormatTable4(rows))
-		return nil
+		return rows, nil
 	})
-	run("fig6", func() error {
+	run("fig6", func() (any, error) {
 		rows, err := env.Fig6()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Print(experiments.FormatModeTimes("Figure 6: random-dominated queries (Q9, Q21)", rows))
-		return nil
+		return rows, nil
 	})
-	run("table5", func() error {
+	run("table5", func() (any, error) {
 		rows, err := env.Table5()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Print(experiments.FormatPrioTable("Table 5: Q9 random-request cache statistics (hStorage-DB)",
 			map[string][]experiments.PrioRow{"hStorage-DB": rows}, []string{"hStorage-DB"}))
-		return nil
+		return rows, nil
 	})
-	run("table6", func() error {
+	run("table6", func() (any, error) {
 		hs, lru, err := env.Table6()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Print(experiments.FormatPrioTable("Table 6: Q21 cache statistics",
 			map[string][]experiments.PrioRow{"hStorage-DB": hs, "LRU": lru},
 			[]string{"hStorage-DB", "LRU"}))
-		return nil
+		return map[string]any{"hstorage": hs, "lru": lru}, nil
 	})
-	run("fig9", func() error {
+	run("fig9", func() (any, error) {
 		rows, err := env.Fig9()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Print(experiments.FormatModeTimes("Figure 9: temp-data query (Q18)", rows))
-		return nil
+		return rows, nil
 	})
-	run("table7", func() error {
+	run("table7", func() (any, error) {
 		hs, lru, err := env.Table7()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Print(experiments.FormatPrioTable("Table 7: Q18 cache statistics (temp reads vs sequential)",
 			map[string][]experiments.PrioRow{"hStorage-DB": hs, "LRU": lru},
 			[]string{"hStorage-DB", "LRU"}))
-		return nil
+		return map[string]any{"hstorage": hs, "lru": lru}, nil
 	})
-	run("fig11", func() error {
+	run("fig11", func() (any, error) {
 		res, err := env.Fig11()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Print(experiments.FormatFig11(res))
-		return nil
+		return res, nil
 	})
-	run("oltp", func() error {
+	run("oltp", func() (any, error) {
 		runs, err := env.OLTPAll(*txns)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Print(experiments.FormatOLTP(runs))
-		return nil
+		return runs, nil
 	})
-	run("iosched", func() error {
+	run("iosched", func() (any, error) {
 		runs, err := env.IOSchedAll(*streams, *txns)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Print(experiments.FormatIOSched(runs))
-		return nil
+		return runs, nil
+	})
+	run("txnscale", func() (any, error) {
+		runs, err := env.TxnScaleAll(workers, *txns)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Print(experiments.FormatTxnScale(runs))
+		return runs, nil
 	})
 	if has("table9") || has("fig12") {
 		ran = true
@@ -173,6 +200,7 @@ func main() {
 			log.Fatalf("table9: %v", err)
 		}
 		if has("table9") {
+			metrics["table9"] = t9
 			fmt.Println(experiments.FormatTable9(t9))
 		}
 		if has("fig12") {
@@ -180,6 +208,7 @@ func main() {
 			if err != nil {
 				log.Fatalf("fig12: %v", err)
 			}
+			metrics["fig12"] = f12
 			fmt.Println(experiments.FormatFig12(f12))
 		}
 	}
@@ -188,4 +217,37 @@ func main() {
 		fmt.Fprintf(os.Stderr, "no experiment matched %q\n", *exp)
 		os.Exit(2)
 	}
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(metrics, "", "  ")
+		if err != nil {
+			log.Fatalf("-json: marshal: %v", err)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			log.Fatalf("-json: %v", err)
+		}
+		fmt.Printf("metrics written to %s\n", *jsonPath)
+	}
+}
+
+// parseWorkers parses the -workers flag: a comma-separated list of
+// positive worker counts.
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad worker count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no worker counts")
+	}
+	return out, nil
 }

@@ -224,6 +224,12 @@ type (
 // ErrCrashed is returned by transactions on a crash-injected manager.
 var ErrCrashed = txn.ErrCrashed
 
+// ErrDeadlock is returned from transactional page accesses when the lock
+// manager refuses a request that would deadlock; the transaction should
+// Abort and retry. Mutating transactions on distinct sessions run
+// concurrently under page-granular two-phase locking.
+var ErrDeadlock = txn.ErrDeadlock
+
 // DefaultWALConfig returns the log sizing used by tests and experiments.
 func DefaultWALConfig() WALConfig { return wal.DefaultConfig() }
 

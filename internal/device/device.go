@@ -68,6 +68,15 @@ type Spec struct {
 	// means every discontiguous access pays the full penalty.
 	NearSeekLat  time.Duration
 	NearDistance int64
+
+	// Channels is the device's internal service parallelism: how many
+	// requests it works on simultaneously. An SSD stripes over NAND
+	// channels, so concurrent submitters multiply its throughput, while
+	// a lone synchronous stream — one request in flight at a time —
+	// gains nothing; an HDD has a single actuator (Channels 0 or 1:
+	// strictly serial service). This is the hardware seam that rewards
+	// genuinely concurrent request streams.
+	Channels int
 }
 
 // Cheetah15K returns the Seagate Cheetah 15.7K RPM 300 GB HDD used at
@@ -96,6 +105,11 @@ func Intel320() Spec {
 		SeqWriteBps:  205e6,
 		RandReadLat:  time.Second / 39500,
 		RandWriteLat: time.Second / 23000,
+		// The 320 stripes over ten NAND channels (rated IOPS are
+		// aggregate, reached only at queue depth — a synchronous single
+		// stream sees per-request latency; the transfer stage caps
+		// aggregate bandwidth at the rated sequential rate either way).
+		Channels: 10,
 	}
 }
 
@@ -222,10 +236,18 @@ type Stats struct {
 }
 
 // Device is a simulated block device. All methods are safe for concurrent
-// use; requests are serialized in arrival order.
+// use. With one service channel (the default) requests serialize in
+// arrival order exactly as a single-actuator disk does. With
+// Spec.Channels > 1 the per-request positioning stage runs on the
+// least-busy channel while data transfer serializes on a shared
+// bandwidth resource, so concurrent submitters multiply request
+// throughput up to the spec's aggregate bandwidth — while a synchronous
+// single stream, with one request in flight at a time, observes exactly
+// the single-channel service times.
 type Device struct {
 	spec Spec
-	res  simclock.Resource
+	res  []*simclock.Resource
+	bw   *simclock.Resource // shared transfer stage (Channels > 1)
 
 	mu      sync.Mutex
 	nextLBA int64 // LBA immediately after the last access; -1 initially
@@ -235,18 +257,31 @@ type Device struct {
 
 // New creates a device from a spec.
 func New(spec Spec) *Device {
-	return &Device{spec: spec, nextLBA: -1}
+	n := spec.Channels
+	if n < 1 {
+		n = 1
+	}
+	res := make([]*simclock.Resource, n)
+	for i := range res {
+		res[i] = &simclock.Resource{}
+	}
+	d := &Device{spec: spec, res: res, nextLBA: -1}
+	if n > 1 {
+		d.bw = &simclock.Resource{}
+	}
+	return d
 }
 
 // Spec returns the device's performance parameters.
 func (d *Device) Spec() Spec { return d.spec }
 
-// ServiceTime computes how long an access of `blocks` blocks at `lba`
-// would take, and updates the sequential-detection cursor. It does not
-// schedule the access on the device's queue; Access does both.
-func (d *Device) serviceTime(op Op, lba int64, blocks int) time.Duration {
+// serviceTime computes the positioning and transfer components of an
+// access of `blocks` blocks at `lba`, and updates the
+// sequential-detection cursor. It does not schedule the access on the
+// device's queue; Access does both.
+func (d *Device) serviceTime(op Op, lba int64, blocks int) (pos, xfer time.Duration) {
 	if blocks <= 0 {
-		return 0
+		return 0, 0
 	}
 	d.mu.Lock()
 	sequential := d.nextLBA == lba
@@ -274,47 +309,80 @@ func (d *Device) serviceTime(op Op, lba int64, blocks int) time.Duration {
 	}
 	d.mu.Unlock()
 
-	var svc time.Duration
 	bytes := float64(blocks) * BlockSize
 	switch op {
 	case Read:
-		svc = time.Duration(bytes / d.spec.SeqReadBps * float64(time.Second))
+		xfer = time.Duration(bytes / d.spec.SeqReadBps * float64(time.Second))
 		switch {
 		case sequential:
 		case near:
-			svc += d.spec.NearSeekLat
+			pos = d.spec.NearSeekLat
 		default:
-			svc += d.spec.RandReadLat
+			pos = d.spec.RandReadLat
 		}
 	case Write:
-		svc = time.Duration(bytes / d.spec.SeqWriteBps * float64(time.Second))
+		xfer = time.Duration(bytes / d.spec.SeqWriteBps * float64(time.Second))
 		switch {
 		case sequential:
 		case near:
-			svc += d.spec.NearSeekLat
+			pos = d.spec.NearSeekLat
 		default:
-			svc += d.spec.RandWriteLat
+			pos = d.spec.RandWriteLat
 		}
 	}
 	d.mu.Lock()
-	d.stats.BusyTime += svc
+	d.stats.BusyTime += pos + xfer
 	d.mu.Unlock()
-	return svc
+	return pos, xfer
+}
+
+// channelFor returns the service channel a new request should occupy:
+// the one that frees up first.
+func (d *Device) channelFor() *simclock.Resource {
+	best := d.res[0]
+	if len(d.res) > 1 {
+		bu := best.BusyUntil()
+		for _, r := range d.res[1:] {
+			if t := r.BusyUntil(); t < bu {
+				best, bu = r, t
+			}
+		}
+	}
+	return best
 }
 
 // Access schedules a request arriving at virtual time `at` and returns its
-// completion time. Concurrent callers queue in arrival order.
+// completion time. On a single-channel device the whole service occupies
+// the one channel in arrival order; on a multi-channel device the
+// positioning stage runs on the least-busy channel and the transfer
+// serializes on the shared bandwidth stage. A zero-block access returns
+// the device's busy horizon without occupying anything.
 func (d *Device) Access(at time.Duration, op Op, lba int64, blocks int) time.Duration {
-	svc := d.serviceTime(op, lba, blocks)
-	return d.res.Serve(at, svc)
+	if blocks <= 0 {
+		if t := d.BusyUntil(); t > at {
+			return t
+		}
+		return at
+	}
+	pos, xfer := d.serviceTime(op, lba, blocks)
+	if d.bw == nil {
+		return d.res[0].Serve(at, pos+xfer)
+	}
+	return d.bw.Serve(d.channelFor().Serve(at, pos), xfer)
 }
 
 // AccessBackground schedules work that no requester waits on (asynchronous
 // flushes). The device is occupied but the caller's clock should not be
 // advanced to the returned completion time.
 func (d *Device) AccessBackground(at time.Duration, op Op, lba int64, blocks int) time.Duration {
-	svc := d.serviceTime(op, lba, blocks)
-	return d.res.ServeBackground(at, svc)
+	if blocks <= 0 {
+		return at
+	}
+	pos, xfer := d.serviceTime(op, lba, blocks)
+	if d.bw == nil {
+		return d.res[0].ServeBackground(at, pos+xfer)
+	}
+	return d.bw.ServeBackground(d.channelFor().ServeBackground(at, pos), xfer)
 }
 
 // AccessQueued is the queue-aware submission API used by the I/O
@@ -330,10 +398,34 @@ func (d *Device) AccessQueued(arrive, grant time.Duration, op Op, lba int64, blo
 	return end
 }
 
-// BusyUntil reports the virtual time at which the device becomes idle.
-// The I/O scheduler consults it to measure how long a queued request has
-// effectively been waiting (its aging bound).
-func (d *Device) BusyUntil() time.Duration { return d.res.BusyUntil() }
+// BusyUntil reports the virtual time at which the device becomes fully
+// idle (the latest channel's horizon). The I/O scheduler consults it to
+// measure how long a queued request has effectively been waiting (its
+// aging bound); the storage manager settles end-of-run clocks against it.
+func (d *Device) BusyUntil() time.Duration {
+	var until time.Duration
+	for _, r := range d.res {
+		if t := r.BusyUntil(); t > until {
+			until = t
+		}
+	}
+	if d.bw != nil {
+		if t := d.bw.BusyUntil(); t > until {
+			until = t
+		}
+	}
+	return until
+}
+
+// HeadLBA reports the LBA immediately after the last access (-1 before
+// any): the position the next positioning cost is measured from. The
+// I/O scheduler's elevator tie-break grants the nearest same-rank
+// request, which turns queue depth into shorter seeks.
+func (d *Device) HeadLBA() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.nextLBA
+}
 
 // ObserveLatency records one end-to-end request latency for a class in
 // the device's histogram set. Class keys are dss.Class values; the
@@ -375,7 +467,12 @@ func (d *Device) Reset() {
 	d.hists = nil
 	d.nextLBA = -1
 	d.mu.Unlock()
-	d.res.Reset()
+	for _, r := range d.res {
+		r.Reset()
+	}
+	if d.bw != nil {
+		d.bw.Reset()
+	}
 }
 
 // String implements fmt.Stringer.

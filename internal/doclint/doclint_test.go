@@ -22,6 +22,7 @@ var auditedPackages = []string{
 	"internal/dss",
 	"internal/hybrid",
 	"internal/iosched",
+	"internal/engine/lockmgr",
 	"internal/engine/policy",
 	"internal/engine/wal",
 }

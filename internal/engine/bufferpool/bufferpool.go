@@ -9,6 +9,30 @@
 // manager's background path, which tags the request with its class and
 // marks it Background, so the device I/O scheduler serves it below every
 // foreground class instead of letting a flush delay a commit.
+//
+// # Transactions
+//
+// Mutating transactions register per-stream hooks with BindTxn, keyed by
+// the session clock that accompanies every Get/Put. Each bound
+// transaction supplies:
+//
+//   - an Acquire hook, called before the frame operation (no pool latch
+//     held, so it may block): the transaction layer takes its page locks
+//     here, and a lock-manager deadlock surfaces as an error from
+//     Get/Put;
+//   - a Capture hook, called under the pool latch for every page the
+//     transaction installs: it records pre-image and post-image and, by
+//     returning true, pins the frame on behalf of that transaction.
+//
+// Pins are owned: each frame tracks which transaction holds how many
+// pins, so concurrent mutators coexist under the no-steal contract —
+// a frame with any pins is never evicted or flushed, and only the owner
+// can release its pins (Unpin on commit, Restore on abort).
+//
+// Frames being written back are latched (entry.flushing): they stay
+// visible in the table during the I/O so concurrent readers never fetch
+// a stale copy from the storage system, and a Put that re-dirties the
+// frame mid-flush is detected by a version check and the frame is kept.
 package bufferpool
 
 import (
@@ -34,11 +58,21 @@ type entry struct {
 	dirty   bool
 	content policy.ContentType // needed to classify the write-back
 
+	// version counts content installs, so a write-back that ran without
+	// the pool latch can tell whether the frame was re-dirtied under it.
+	version int64
+
+	// flushing latches the frame while its content is being written
+	// back: it stays visible to readers but is not a victim candidate.
+	flushing bool
+
 	// pins counts active transactions holding the frame under the
 	// no-steal policy: a pinned frame is never evicted or flushed, so an
 	// uncommitted page can never reach the storage system before its log
-	// records are durable.
-	pins int
+	// records are durable. owners tracks the per-transaction pin counts
+	// behind the sum.
+	pins   int
+	owners map[int64]int
 
 	prev, next *entry
 }
@@ -47,8 +81,25 @@ type entry struct {
 // called by Put under the pool mutex with the frame's previous content
 // (nil if the page had no frame) and dirty flag, plus the newly installed
 // data; the callback must not call back into the pool. Returning true
-// pins the frame until Unpin or Restore.
+// pins the frame for the owning transaction until Unpin or Restore.
 type CaptureFunc func(tag policy.Tag, page int64, pre []byte, preDirty bool, post []byte) (pin bool)
+
+// AcquireFunc takes the transaction's page lock before a frame access;
+// write selects exclusive mode. It is called without the pool mutex, may
+// block, and its error (e.g. a lock-manager deadlock) aborts the access.
+type AcquireFunc func(tag policy.Tag, page int64, write bool) error
+
+// TxnHooks bind one active transaction to the pool: its identity, its
+// lock acquisition, and its capture set.
+type TxnHooks struct {
+	// ID is the transaction identifier owning the pins.
+	ID int64
+	// Acquire, when non-nil, is invoked before every Get (read) and Put
+	// (write) on the bound stream.
+	Acquire AcquireFunc
+	// Capture, when non-nil, observes every Put on the bound stream.
+	Capture CaptureFunc
+}
 
 // Stats are cumulative buffer pool counters.
 type Stats struct {
@@ -63,11 +114,18 @@ type Pool struct {
 	mgr *storagemgr.Manager
 	cap int
 
-	mu      sync.Mutex
-	table   map[key]*entry
-	head    entry // sentinel of the LRU list, head.next = MRU
-	stats   Stats
-	capture CaptureFunc
+	mu    sync.Mutex
+	table map[key]*entry
+	head  entry // sentinel of the LRU list, head.next = MRU
+	stats Stats
+	// nflushing counts frames latched mid-write-back. They stay visible
+	// in the table (readers keep hitting the in-memory copy) but do not
+	// count against capacity, so a concurrent stream's makeRoom does not
+	// cascade extra evictions while a victim's I/O is in flight.
+	nflushing int
+
+	txnMu sync.RWMutex
+	txns  map[*simclock.Clock]*TxnHooks
 }
 
 // New creates a pool with capacity `frames` pages over the given storage
@@ -76,7 +134,12 @@ func New(mgr *storagemgr.Manager, frames int) *Pool {
 	if frames < 1 {
 		frames = 1
 	}
-	p := &Pool{mgr: mgr, cap: frames, table: make(map[key]*entry, frames)}
+	p := &Pool{
+		mgr:   mgr,
+		cap:   frames,
+		table: make(map[key]*entry, frames),
+		txns:  make(map[*simclock.Clock]*TxnHooks),
+	}
 	p.head.prev = &p.head
 	p.head.next = &p.head
 	return p
@@ -84,6 +147,38 @@ func New(mgr *storagemgr.Manager, frames int) *Pool {
 
 // Manager exposes the storage manager beneath the pool.
 func (p *Pool) Manager() *storagemgr.Manager { return p.mgr }
+
+// BindTxn associates transaction hooks with a session stream: every
+// Get/Put carrying clk runs the hooks until UnbindTxn. One stream runs
+// at most one transaction at a time; concurrent transactions live on
+// distinct streams, each with its own capture set.
+func (p *Pool) BindTxn(clk *simclock.Clock, h *TxnHooks) {
+	p.txnMu.Lock()
+	p.txns[clk] = h
+	p.txnMu.Unlock()
+}
+
+// UnbindTxn removes the stream's transaction hooks (commit/abort path).
+func (p *Pool) UnbindTxn(clk *simclock.Clock) {
+	p.txnMu.Lock()
+	delete(p.txns, clk)
+	p.txnMu.Unlock()
+}
+
+// UnbindAll removes every transaction binding (crash path).
+func (p *Pool) UnbindAll() {
+	p.txnMu.Lock()
+	p.txns = make(map[*simclock.Clock]*TxnHooks)
+	p.txnMu.Unlock()
+}
+
+// txnFor returns the hooks bound to a stream, or nil.
+func (p *Pool) txnFor(clk *simclock.Clock) *TxnHooks {
+	p.txnMu.RLock()
+	h := p.txns[clk]
+	p.txnMu.RUnlock()
+	return h
+}
 
 func (p *Pool) pushFront(e *entry) {
 	e.prev = &p.head
@@ -103,29 +198,59 @@ func (p *Pool) touch(e *entry) {
 	p.pushFront(e)
 }
 
+// pin adds one owned pin to the frame. Caller holds p.mu.
+func (e *entry) pin(txn int64) {
+	e.pins++
+	if e.owners == nil {
+		e.owners = make(map[int64]int, 1)
+	}
+	e.owners[txn]++
+}
+
+// unpin releases one pin owned by txn, reporting whether one was held.
+// Caller holds p.mu.
+func (e *entry) unpin(txn int64) bool {
+	if e.owners[txn] <= 0 {
+		return false
+	}
+	e.owners[txn]--
+	if e.owners[txn] == 0 {
+		delete(e.owners, txn)
+	}
+	e.pins--
+	return true
+}
+
 // evictOne writes back the least recently used unpinned page if dirty and
-// frees its frame. It reports whether a frame was freed: pinned frames
-// (dirtied by an uncommitted transaction) are skipped, and when every
-// frame is pinned the pool temporarily exceeds its capacity rather than
-// steal an uncommitted page. Caller holds p.mu; the mutex is released
-// around the I/O.
+// frees its frame. It reports whether it made progress: pinned frames
+// (dirtied by an uncommitted transaction) and frames mid-flush are
+// skipped, and when every frame is pinned the pool temporarily exceeds
+// its capacity rather than steal an uncommitted page. The frame stays in
+// the table, latched, while its content is written back (the mutex is
+// released around the I/O), so concurrent readers keep hitting the
+// in-memory copy instead of racing the write-back to the storage system;
+// if the frame was re-dirtied or pinned under the latch it is kept.
+// Caller holds p.mu.
 func (p *Pool) evictOne(clk *simclock.Clock) (bool, error) {
 	lru := p.head.prev
-	for lru != &p.head && lru.pins > 0 {
+	for lru != &p.head && (lru.pins > 0 || lru.flushing) {
 		lru = lru.prev
 	}
 	if lru == &p.head {
 		return false, nil
 	}
-	p.unlink(lru)
-	delete(p.table, lru.key)
-	p.stats.Evictions++
 	if !lru.dirty {
+		p.unlink(lru)
+		delete(p.table, lru.key)
+		p.stats.Evictions++
 		return true, nil
 	}
 	p.stats.WriteBack++
+	lru.flushing = true
+	p.nflushing++
 	tag := policy.Tag{Object: lru.key.obj, Content: lru.content}
 	data := lru.data
+	version := lru.version
 	pageNo := lru.key.page
 	p.mu.Unlock()
 	// Dirty pages are flushed by the background writer: the flush
@@ -138,13 +263,30 @@ func (p *Pool) evictOne(clk *simclock.Clock) (bool, error) {
 		err = nil
 	}
 	p.mu.Lock()
+	lru.flushing = false
+	p.nflushing--
+	if _, still := p.table[lru.key]; !still {
+		// Invalidated under the latch (temp file dropped): already gone.
+		return true, err
+	}
+	if lru.version != version || lru.pins > 0 {
+		// Re-dirtied or pinned while the stale copy was in flight: the
+		// frame must stay. Report progress so the caller retries with
+		// another victim.
+		return true, err
+	}
+	lru.dirty = false
+	p.unlink(lru)
+	delete(p.table, lru.key)
+	p.stats.Evictions++
 	return true, err
 }
 
 // makeRoom evicts until a frame is free or only pinned frames remain.
-// Caller holds p.mu.
+// Frames latched mid-write-back do not count: their eviction is already
+// under way. Caller holds p.mu.
 func (p *Pool) makeRoom(clk *simclock.Clock) error {
-	for len(p.table) >= p.cap {
+	for len(p.table)-p.nflushing >= p.cap {
 		ok, err := p.evictOne(clk)
 		if err != nil {
 			return err
@@ -159,8 +301,15 @@ func (p *Pool) makeRoom(clk *simclock.Clock) error {
 // Get returns the content of (tag.Object, page), fetching it through the
 // storage manager on a miss. The returned slice is the pool's frame:
 // callers must not retain it across other pool calls, and must use Put to
-// modify pages.
+// modify pages. On a stream with a bound transaction, the transaction's
+// Acquire hook runs first (shared mode) and its error — e.g. a deadlock —
+// is returned unchanged.
 func (p *Pool) Get(clk *simclock.Clock, tag policy.Tag, page int64) ([]byte, error) {
+	if h := p.txnFor(clk); h != nil && h.Acquire != nil {
+		if err := h.Acquire(tag, page, false); err != nil {
+			return nil, err
+		}
+	}
 	k := key{obj: tag.Object, page: page}
 	p.mu.Lock()
 	if e, ok := p.table[k]; ok {
@@ -199,15 +348,24 @@ func (p *Pool) Get(clk *simclock.Clock, tag policy.Tag, page int64) ([]byte, err
 
 // Put stores new content for (tag.Object, page) and marks the frame
 // dirty. The data is installed by reference; the pool owns it afterwards.
+// On a stream with a bound transaction, the transaction's Acquire hook
+// runs first (exclusive mode) and its Capture hook observes the install.
 func (p *Pool) Put(clk *simclock.Clock, tag policy.Tag, page int64, data []byte) error {
+	h := p.txnFor(clk)
+	if h != nil && h.Acquire != nil {
+		if err := h.Acquire(tag, page, true); err != nil {
+			return err
+		}
+	}
 	k := key{obj: tag.Object, page: page}
 	p.mu.Lock()
 	if e, ok := p.table[k]; ok {
-		if p.capture != nil && p.capture(tag, page, e.data, e.dirty, data) {
-			e.pins++
+		if h != nil && h.Capture != nil && h.Capture(tag, page, e.data, e.dirty, data) {
+			e.pin(h.ID)
 		}
 		e.data = data
 		e.dirty = true
+		e.version++
 		e.content = tag.Content
 		p.touch(e)
 		p.mu.Unlock()
@@ -217,9 +375,9 @@ func (p *Pool) Put(clk *simclock.Clock, tag policy.Tag, page int64, data []byte)
 		p.mu.Unlock()
 		return err
 	}
-	e := &entry{key: k, data: data, dirty: true, content: tag.Content}
-	if p.capture != nil && p.capture(tag, page, nil, false, data) {
-		e.pins++
+	e := &entry{key: k, data: data, dirty: true, content: tag.Content, version: 1}
+	if h != nil && h.Capture != nil && h.Capture(tag, page, nil, false, data) {
+		e.pin(h.ID)
 	}
 	p.table[k] = e
 	p.pushFront(e)
@@ -229,26 +387,35 @@ func (p *Pool) Put(clk *simclock.Clock, tag policy.Tag, page int64, data []byte)
 
 // FlushAll writes back every dirty unpinned frame (end-of-stream
 // checkpoint). Pinned frames belong to uncommitted transactions and stay
-// in memory: their durability is the WAL's job.
+// in memory: their durability is the WAL's job. A frame re-dirtied while
+// its snapshot was being written keeps its dirty bit.
 func (p *Pool) FlushAll(clk *simclock.Clock) error {
+	type snap struct {
+		e       *entry
+		data    []byte
+		version int64
+	}
 	p.mu.Lock()
-	dirty := make([]*entry, 0)
+	dirty := make([]snap, 0)
 	for _, e := range p.table {
 		if e.dirty && e.pins == 0 {
-			dirty = append(dirty, e)
+			dirty = append(dirty, snap{e: e, data: e.data, version: e.version})
 		}
 	}
 	p.mu.Unlock()
-	for _, e := range dirty {
+	for _, s := range dirty {
+		e := s.e
 		tag := policy.Tag{Object: e.key.obj, Content: e.content}
-		if err := p.mgr.WritePage(clk, tag, e.key.page, e.data); err != nil {
+		if err := p.mgr.WritePage(clk, tag, e.key.page, s.data); err != nil {
 			if errors.Is(err, pagestore.ErrUnknownObject) {
 				continue // the object was dropped while we flushed
 			}
 			return err
 		}
 		p.mu.Lock()
-		e.dirty = false
+		if e.version == s.version {
+			e.dirty = false
+		}
 		p.stats.WriteBack++
 		p.mu.Unlock()
 	}
@@ -268,48 +435,53 @@ func (p *Pool) Invalidate(obj pagestore.ObjectID) {
 	p.mu.Unlock()
 }
 
-// SetCapture installs (or, with nil, removes) the transaction capture
-// hook. With mutating transactions serialized by the transaction manager,
-// at most one capture is active at a time.
-func (p *Pool) SetCapture(f CaptureFunc) {
-	p.mu.Lock()
-	p.capture = f
-	p.mu.Unlock()
-}
-
-// Unpin releases one transaction pin on a frame (commit path: the page
+// Unpin releases one pin txn holds on a frame (commit path: the page
 // stays dirty and is flushed lazily now that its log records are
-// durable). Unknown pages are ignored.
-func (p *Pool) Unpin(obj pagestore.ObjectID, page int64) {
+// durable). Pins the transaction does not own, and unknown pages, are
+// ignored.
+func (p *Pool) Unpin(txn int64, obj pagestore.ObjectID, page int64) {
 	p.mu.Lock()
-	if e, ok := p.table[key{obj: obj, page: page}]; ok && e.pins > 0 {
-		e.pins--
+	if e, ok := p.table[key{obj: obj, page: page}]; ok {
+		e.unpin(txn)
 	}
 	p.mu.Unlock()
 }
 
-// Restore rewinds a frame to its pre-transaction content and releases the
-// pin (abort path). pre == nil means the page had no frame before the
-// transaction touched it: the frame is dropped without write-back, so the
-// storage system never sees the aborted content.
-func (p *Pool) Restore(obj pagestore.ObjectID, page int64, pre []byte, preDirty bool) {
+// Restore rewinds a frame to its pre-transaction content and releases
+// txn's pin (abort path). pre == nil means the page had no frame before
+// the transaction touched it: the frame is dropped without write-back, so
+// the storage system never sees the aborted content.
+func (p *Pool) Restore(txn int64, obj pagestore.ObjectID, page int64, pre []byte, preDirty bool) {
 	p.mu.Lock()
 	e, ok := p.table[key{obj: obj, page: page}]
 	if !ok {
 		p.mu.Unlock()
 		return
 	}
-	if e.pins > 0 {
-		e.pins--
-	}
+	e.unpin(txn)
 	if pre == nil {
 		p.unlink(e)
 		delete(p.table, e.key)
 	} else {
 		e.data = pre
 		e.dirty = preDirty
+		e.version++
 	}
 	p.mu.Unlock()
+}
+
+// PinnedFrames reports how many frames currently hold transaction pins.
+// Tests use it to assert the no-steal bookkeeping drains to zero.
+func (p *Pool) PinnedFrames() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, e := range p.table {
+		if e.pins > 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // Stats returns a snapshot of the counters.
@@ -337,7 +509,7 @@ func (p *Pool) Len() int {
 func (p *Pool) Capacity() int { return p.cap }
 
 // DropAll empties the pool without write-back. Tests use it to force cold
-// caches between runs.
+// caches between runs; the crash path uses it to drop volatile state.
 func (p *Pool) DropAll() {
 	p.mu.Lock()
 	p.table = make(map[key]*entry, p.cap)

@@ -1,0 +1,406 @@
+// Package lockmgr implements page-granular two-phase locking for the
+// concurrent transaction path.
+//
+// The seed prototype serialized every mutating transaction behind one
+// mutex, so the only concurrency the storage system ever saw came from
+// read streams. This package supplies the concurrency-control layer that
+// lets mutating transactions run simultaneously: each transaction
+// acquires shared (read) or exclusive (write) locks on the pages it
+// touches through the buffer pool, holds them to commit or abort (strict
+// two-phase locking), and releases them all at once.
+//
+// Deadlocks are resolved by cycle detection on the waits-for graph: a
+// blocked request records edges to every transaction it waits behind
+// (conflicting holders plus earlier waiters in the same queue), and
+// whenever the graph changes the manager searches for cycles and wakes
+// one member of each — the youngest, i.e. highest transaction ID — with
+// ErrDeadlock. The victim is expected to abort (releasing its locks,
+// which unblocks the rest of the cycle) and retry.
+//
+// Lock waits block the calling goroutine in real time but consume no
+// simulated time: the virtual cost of contention is paid at the devices,
+// where the retried work queues again. This mirrors the paper's Rule 5
+// view of concurrency — what matters to the storage system is the degree
+// of concurrent traffic, which only genuinely concurrent transactions
+// can generate.
+package lockmgr
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"hstoragedb/internal/pagestore"
+)
+
+// ErrDeadlock is returned by Acquire when granting the request would
+// deadlock (the request closes, or is chosen as victim of, a cycle in
+// the waits-for graph). The transaction should abort and retry.
+var ErrDeadlock = errors.New("lockmgr: deadlock detected")
+
+// Mode is a lock mode.
+type Mode int
+
+const (
+	// Shared is the read lock: any number of transactions may hold it
+	// simultaneously.
+	Shared Mode = iota
+	// Exclusive is the write lock: it conflicts with every other holder.
+	Exclusive
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Exclusive {
+		return "X"
+	}
+	return "S"
+}
+
+// PageID identifies one lockable page.
+type PageID struct {
+	// Obj is the owning storage object.
+	Obj pagestore.ObjectID
+	// Page is the page number within the object.
+	Page int64
+}
+
+// String implements fmt.Stringer.
+func (p PageID) String() string { return fmt.Sprintf("%d/%d", p.Obj, p.Page) }
+
+// waiter is one blocked Acquire call.
+type waiter struct {
+	txn     int64
+	mode    Mode
+	upgrade bool // holds Shared already, wants Exclusive
+	done    chan error
+}
+
+// lockState is the holder set and wait queue of one page.
+type lockState struct {
+	holders map[int64]Mode
+	queue   []*waiter
+}
+
+// Stats are cumulative lock manager counters.
+type Stats struct {
+	// Acquired counts granted lock requests (re-entrant grants included).
+	Acquired int64
+	// Waits counts requests that blocked before being granted.
+	Waits int64
+	// Deadlocks counts requests refused with ErrDeadlock.
+	Deadlocks int64
+	// Upgrades counts Shared-to-Exclusive upgrades granted.
+	Upgrades int64
+}
+
+// Manager is the lock table. All methods are safe for concurrent use;
+// Acquire blocks the calling goroutine until the lock is granted or the
+// request is refused with ErrDeadlock.
+type Manager struct {
+	mu    sync.Mutex
+	locks map[PageID]*lockState
+	held  map[int64]map[PageID]Mode    // txn -> held locks
+	waits map[int64]map[int64]struct{} // txn -> txns it waits behind
+	blkd  map[int64]*blocked           // txn -> its blocked request
+	stats Stats
+}
+
+// blocked pairs a waiter with the lock it queues on, so a victim can be
+// removed from the right queue.
+type blocked struct {
+	w  *waiter
+	id PageID
+}
+
+// New creates an empty lock table.
+func New() *Manager {
+	return &Manager{
+		locks: make(map[PageID]*lockState),
+		held:  make(map[int64]map[PageID]Mode),
+		waits: make(map[int64]map[int64]struct{}),
+		blkd:  make(map[int64]*blocked),
+	}
+}
+
+// Acquire takes a lock on id in the given mode on behalf of txn,
+// blocking until granted. Re-acquiring a held lock (same or weaker mode)
+// returns immediately; holding Shared and requesting Exclusive upgrades.
+// If the request would deadlock, it returns ErrDeadlock without
+// acquiring anything; the transaction keeps its other locks and is
+// expected to abort.
+func (m *Manager) Acquire(txn int64, id PageID, mode Mode) error {
+	m.mu.Lock()
+	ls := m.locks[id]
+	if ls == nil {
+		ls = &lockState{holders: make(map[int64]Mode)}
+		m.locks[id] = ls
+	}
+
+	if have, ok := ls.holders[txn]; ok {
+		if have >= mode {
+			m.stats.Acquired++
+			m.mu.Unlock()
+			return nil
+		}
+		// Upgrade: grant immediately when txn is the sole holder.
+		if len(ls.holders) == 1 {
+			ls.holders[txn] = Exclusive
+			m.held[txn][id] = Exclusive
+			m.stats.Acquired++
+			m.stats.Upgrades++
+			m.mu.Unlock()
+			return nil
+		}
+		// Queue the upgrade at the front: it already holds Shared, so
+		// nothing behind it can be granted first anyway.
+		w := &waiter{txn: txn, mode: Exclusive, upgrade: true, done: make(chan error, 1)}
+		ls.queue = append([]*waiter{w}, ls.queue...)
+		return m.blockOn(w, id, ls)
+	}
+
+	if m.grantableLocked(ls, txn, mode) {
+		ls.holders[txn] = mode
+		m.noteHeld(txn, id, mode)
+		m.stats.Acquired++
+		m.mu.Unlock()
+		return nil
+	}
+
+	w := &waiter{txn: txn, mode: mode, done: make(chan error, 1)}
+	ls.queue = append(ls.queue, w)
+	return m.blockOn(w, id, ls)
+}
+
+// blockOn registers the waiter in the waits-for graph, resolves any
+// cycle it creates, and parks the caller. Called with m.mu held; returns
+// with it released.
+func (m *Manager) blockOn(w *waiter, id PageID, ls *lockState) error {
+	m.blkd[w.txn] = &blocked{w: w, id: id}
+	m.stats.Waits++
+	m.rebuildEdgesLocked(id, ls)
+	m.resolveDeadlocksLocked(id)
+	m.mu.Unlock()
+	return <-w.done
+}
+
+// holdersAllow reports whether the current holder set is compatible
+// with a new grant in mode: Exclusive needs no holders at all, Shared
+// tolerates anything but an Exclusive holder.
+func holdersAllow(ls *lockState, mode Mode) bool {
+	if mode == Exclusive {
+		return len(ls.holders) == 0
+	}
+	for _, hm := range ls.holders {
+		if hm == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// grantableLocked reports whether txn may take the lock in mode right
+// now: compatible with every holder, and not jumping a non-empty queue
+// (FIFO fairness keeps writers from starving). Caller holds m.mu.
+func (m *Manager) grantableLocked(ls *lockState, txn int64, mode Mode) bool {
+	return len(ls.queue) == 0 && holdersAllow(ls, mode)
+}
+
+// noteHeld records a granted lock in the per-txn index. Caller holds m.mu.
+func (m *Manager) noteHeld(txn int64, id PageID, mode Mode) {
+	h := m.held[txn]
+	if h == nil {
+		h = make(map[PageID]Mode)
+		m.held[txn] = h
+	}
+	h[id] = mode
+}
+
+// rebuildEdgesLocked recomputes the waits-for edges of every waiter
+// queued on id: a waiter waits behind each conflicting holder and behind
+// every waiter ahead of it in the queue. Caller holds m.mu.
+func (m *Manager) rebuildEdgesLocked(id PageID, ls *lockState) {
+	for i, w := range ls.queue {
+		edges := make(map[int64]struct{})
+		for h, hm := range ls.holders {
+			if h == w.txn {
+				continue // its own Shared hold (upgrade) is not a wait
+			}
+			if w.mode == Exclusive || hm == Exclusive {
+				edges[h] = struct{}{}
+			}
+		}
+		for _, ahead := range ls.queue[:i] {
+			if ahead.txn != w.txn {
+				edges[ahead.txn] = struct{}{}
+			}
+		}
+		m.waits[w.txn] = edges
+	}
+}
+
+// resolveDeadlocksLocked finds cycles reachable from the waiters of one
+// lock and wakes the youngest member of each with ErrDeadlock. Caller
+// holds m.mu.
+func (m *Manager) resolveDeadlocksLocked(id PageID) {
+	for {
+		ls := m.locks[id]
+		if ls == nil {
+			return
+		}
+		var victim int64 = -1
+		for _, w := range ls.queue {
+			cycle := m.findCycleLocked(w.txn)
+			if cycle == nil {
+				continue
+			}
+			// Abort the youngest blocked transaction in the cycle.
+			for _, t := range cycle {
+				if _, isBlocked := m.blkd[t]; isBlocked && t > victim {
+					victim = t
+				}
+			}
+			break
+		}
+		if victim < 0 {
+			return
+		}
+		m.refuseLocked(victim)
+		// Removing the victim may expose another cycle (or none); loop.
+	}
+}
+
+// findCycleLocked returns the transactions of a waits-for cycle through
+// start, or nil. Caller holds m.mu.
+func (m *Manager) findCycleLocked(start int64) []int64 {
+	var path []int64
+	onPath := make(map[int64]bool)
+	visited := make(map[int64]bool)
+	var dfs func(t int64) []int64
+	dfs = func(t int64) []int64 {
+		if onPath[t] {
+			// Cycle: the suffix of path from t.
+			for i, p := range path {
+				if p == t {
+					return append([]int64(nil), path[i:]...)
+				}
+			}
+			return append([]int64(nil), t)
+		}
+		if visited[t] {
+			return nil
+		}
+		visited[t] = true
+		onPath[t] = true
+		path = append(path, t)
+		for next := range m.waits[t] {
+			if c := dfs(next); c != nil {
+				return c
+			}
+		}
+		path = path[:len(path)-1]
+		onPath[t] = false
+		return nil
+	}
+	return dfs(start)
+}
+
+// refuseLocked wakes the blocked transaction txn with ErrDeadlock and
+// removes it from its queue and from the graph. Caller holds m.mu.
+func (m *Manager) refuseLocked(txn int64) {
+	b := m.blkd[txn]
+	if b == nil {
+		return
+	}
+	delete(m.blkd, txn)
+	delete(m.waits, txn)
+	if ls := m.locks[b.id]; ls != nil {
+		for i, w := range ls.queue {
+			if w == b.w {
+				ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+				break
+			}
+		}
+		m.rebuildEdgesLocked(b.id, ls)
+		m.grantQueueLocked(b.id, ls)
+	}
+	m.stats.Deadlocks++
+	b.w.done <- ErrDeadlock
+}
+
+// grantQueueLocked grants the longest compatible prefix of the wait
+// queue. Caller holds m.mu.
+func (m *Manager) grantQueueLocked(id PageID, ls *lockState) {
+	changed := false
+	for len(ls.queue) > 0 {
+		w := ls.queue[0]
+		if w.upgrade {
+			if len(ls.holders) != 1 {
+				break // other Shared holders still present
+			}
+			ls.holders[w.txn] = Exclusive
+			m.held[w.txn][id] = Exclusive
+			m.stats.Upgrades++
+		} else {
+			if !holdersAllow(ls, w.mode) {
+				break
+			}
+			ls.holders[w.txn] = w.mode
+			m.noteHeld(w.txn, id, w.mode)
+		}
+		ls.queue = ls.queue[1:]
+		delete(m.blkd, w.txn)
+		delete(m.waits, w.txn)
+		m.stats.Acquired++
+		w.done <- nil
+		changed = true
+	}
+	if len(ls.holders) == 0 && len(ls.queue) == 0 {
+		delete(m.locks, id)
+		return
+	}
+	if changed {
+		m.rebuildEdgesLocked(id, ls)
+	}
+}
+
+// ReleaseAll drops every lock held by txn (end of transaction) and
+// grants whatever its departure unblocks.
+func (m *Manager) ReleaseAll(txn int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	held := m.held[txn]
+	delete(m.held, txn)
+	delete(m.waits, txn)
+	for id := range held {
+		ls := m.locks[id]
+		if ls == nil {
+			continue
+		}
+		delete(ls.holders, txn)
+		m.rebuildEdgesLocked(id, ls)
+		m.grantQueueLocked(id, ls)
+		m.resolveDeadlocksLocked(id)
+	}
+}
+
+// Held reports how many locks txn currently holds.
+func (m *Manager) Held(txn int64) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.held[txn])
+}
+
+// Waiting reports how many lock requests are currently blocked.
+func (m *Manager) Waiting() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.blkd)
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}

@@ -1,0 +1,416 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hstoragedb/internal/engine"
+	"hstoragedb/internal/engine/btree"
+	"hstoragedb/internal/engine/catalog"
+	"hstoragedb/internal/engine/wal"
+)
+
+// insertOn runs one transaction appending (id, val) on the given session
+// (fixture.insert pinned to f.sess; workers need their own streams). The
+// append lock serializes concurrent appenders on the shared table.
+func (f *fixture) insertOn(sess *engine.Session, id int64, val string) error {
+	tx, err := f.tm.Begin(sess)
+	if err != nil {
+		return err
+	}
+	tx.Op(wal.KindHeapInsert)
+	if err := tx.LockAppend(f.info.ID); err != nil {
+		_ = tx.Abort()
+		return err
+	}
+	app := f.file.NewAppender(&sess.Clk, f.inst.Pool, f.db.Store.Pages(f.info.ID))
+	rid, err := app.Append(catalog.Tuple{catalog.IntDatum(id), catalog.StringDatum(val)})
+	if err == nil {
+		err = app.Close()
+	}
+	if err != nil {
+		_ = tx.Abort()
+		return err
+	}
+	tx.Op(wal.KindIndexInsert)
+	if err := f.ix.Insert(&sess.Clk, btree.Entry{Key: id, RID: rid}, 0); err != nil {
+		_ = tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// insertRetry retries insertOn across deadlock losses.
+func (f *fixture) insertRetry(sess *engine.Session, id int64, val string) error {
+	for try := 0; ; try++ {
+		err := f.insertOn(sess, id, val)
+		if err == nil || !errors.Is(err, ErrDeadlock) || try > 100 {
+			return err
+		}
+	}
+}
+
+// TestStatsNonBlocking asserts the satellite fix: Commits/Aborts/Dead
+// must answer while a transaction is in flight (the seed serialized them
+// behind the big transaction mutex, so a long-running transaction froze
+// every stats reader).
+func TestStatsNonBlocking(t *testing.T) {
+	f := newFixture(t, 64)
+	tx, err := f.tm.Begin(f.sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = f.tm.Commits()
+		_ = f.tm.Aborts()
+		_ = f.tm.Dead()
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stats readers blocked behind an in-flight transaction")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeadlockDetectionAndRetry choreographs the classic two-transaction
+// cycle on two heap pages: the younger transaction is refused with
+// ErrDeadlock, aborts, and succeeds on retry.
+func TestDeadlockDetectionAndRetry(t *testing.T) {
+	f := newFixture(t, 64)
+	// Two rows big enough that each occupies its own heap page.
+	bulk := strings.Repeat("x", 5000)
+	if err := f.insert(1, bulk); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.insert(2, bulk); err != nil {
+		t.Fatal(err)
+	}
+	rid1 := f.mustRID(t, 1)
+	rid2 := f.mustRID(t, 2)
+	if rid1.Page == rid2.Page {
+		t.Fatalf("rows share page %d; the test needs distinct pages", rid1.Page)
+	}
+	update := func(sess *engine.Session, rid catalog.RID, val string) error {
+		row, err := f.file.Fetch(&sess.Clk, f.inst.Pool, rid, 0)
+		if err != nil {
+			return err
+		}
+		updated := row.Clone()
+		updated[1] = catalog.StringDatum(val)
+		return f.file.Update(&sess.Clk, f.inst.Pool, rid, updated, 0)
+	}
+
+	sess2 := f.inst.NewSession()
+	t1, err := f.tm.Begin(f.sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := f.tm.Begin(sess2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := update(f.sess, rid1, bulk); err != nil { // t1: X(page1)
+		t.Fatal(err)
+	}
+	if err := update(sess2, rid2, bulk); err != nil { // t2: X(page2)
+		t.Fatal(err)
+	}
+
+	waitsBefore := f.tm.LockStats().Waits
+	blocked := make(chan error, 1)
+	go func() { blocked <- update(f.sess, rid2, bulk) }() // t1 waits on t2
+	deadline := time.Now().Add(5 * time.Second)
+	for f.tm.LockStats().Waits == waitsBefore {
+		if time.Now().After(deadline) {
+			t.Fatal("t1 never blocked on t2's page")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// t2 closes the cycle; being younger it is the victim.
+	err = update(sess2, rid1, bulk)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+	if err := t2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-blocked; err != nil {
+		t.Fatalf("survivor's blocked update failed: %v", err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The victim's work succeeds on retry.
+	t3, err := f.tm.Begin(sess2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := update(sess2, rid2, "retried"); err != nil {
+		t.Fatal(err)
+	}
+	if err := t3.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.lookup(t, 2); got != "retried" {
+		t.Fatalf("retried update invisible: %q", got)
+	}
+	if s := f.tm.LockStats(); s.Deadlocks == 0 {
+		t.Fatal("no deadlock recorded")
+	}
+}
+
+// mustRID resolves the heap RID of a key through the index.
+func (f *fixture) mustRID(t *testing.T, id int64) catalog.RID {
+	t.Helper()
+	rids, err := f.ix.Lookup(&f.sess.Clk, id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rids) != 1 {
+		t.Fatalf("key %d has %d rids", id, len(rids))
+	}
+	return rids[0]
+}
+
+// TestConcurrentCommits runs 8 mutating workers concurrently and checks
+// every committed row is visible, the counters add up, no pins leak, and
+// the group-commit coordinator accounted for every force.
+func TestConcurrentCommits(t *testing.T) {
+	f := newFixture(t, 128)
+	const workers = 8
+	const each = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := f.inst.NewSession()
+			for i := 0; i < each; i++ {
+				id := int64(1000*w + i)
+				if err := f.insertRetry(sess, id, fmt.Sprintf("w%d-%d", w, i)); err != nil {
+					errs <- fmt.Errorf("worker %d insert %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if got := f.tm.Commits(); got != workers*each {
+		t.Fatalf("commits=%d want %d", got, workers*each)
+	}
+	if n := f.scanCount(t); n != workers*each {
+		t.Fatalf("scan found %d rows, want %d", n, workers*each)
+	}
+	for w := 0; w < workers; w++ {
+		if got := f.lookup(t, int64(1000*w+each-1)); got != fmt.Sprintf("w%d-%d", w, each-1) {
+			t.Fatalf("worker %d last row: %q", w, got)
+		}
+	}
+	if n := f.inst.Pool.PinnedFrames(); n != 0 {
+		t.Fatalf("%d frames still pinned after all transactions finished", n)
+	}
+	gc := f.tm.GroupCommit()
+	if gc.Txns != workers*each {
+		t.Fatalf("group commit accounted %d txns, want %d", gc.Txns, workers*each)
+	}
+	if gc.Batches <= 0 || gc.Batches > gc.Txns {
+		t.Fatalf("group commit batches=%d txns=%d", gc.Batches, gc.Txns)
+	}
+}
+
+// TestNoStealConcurrentMutators is the no-steal invariant under
+// concurrency: 8 mutators hammer a 8-frame pool (constant eviction
+// pressure), a third of the transactions abort after writing, and the
+// instance then crashes WITHOUT a checkpoint. If any uncommitted page
+// had ever been written back, the post-recovery scan would see aborted
+// or torn rows.
+func TestNoStealConcurrentMutators(t *testing.T) {
+	f := newFixture(t, 8)
+	if err := f.tm.Checkpoint(f.sess); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const each = 9
+	bulk := strings.Repeat("y", 1200)
+	var mu sync.Mutex
+	committed := make(map[int64]bool)
+	aborted := make(map[int64]bool)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := f.inst.NewSession()
+			for i := 0; i < each; i++ {
+				id := int64(1000*w + i)
+				if i%3 == 2 {
+					// Deliberate abort after writing heap + index pages.
+					err := func() error {
+						tx, err := f.tm.Begin(sess)
+						if err != nil {
+							return err
+						}
+						tx.Op(wal.KindHeapInsert)
+						if err := tx.LockAppend(f.info.ID); err != nil {
+							return tx.Abort()
+						}
+						app := f.file.NewAppender(&sess.Clk, f.inst.Pool, f.db.Store.Pages(f.info.ID))
+						if _, err := app.Append(catalog.Tuple{catalog.IntDatum(id), catalog.StringDatum(bulk)}); err == nil {
+							_ = app.Close()
+						}
+						return tx.Abort()
+					}()
+					if err != nil {
+						errs <- fmt.Errorf("worker %d abort txn %d: %w", w, i, err)
+						return
+					}
+					mu.Lock()
+					aborted[id] = true
+					mu.Unlock()
+					continue
+				}
+				if err := f.insertRetry(sess, id, bulk); err != nil {
+					errs <- fmt.Errorf("worker %d insert %d: %w", w, i, err)
+					return
+				}
+				mu.Lock()
+				committed[id] = true
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n := f.inst.Pool.PinnedFrames(); n != 0 {
+		t.Fatalf("%d frames still pinned", n)
+	}
+
+	// Hard crash (no checkpoint): recovery rebuilds purely from WAL redo
+	// over whatever pages the pool wrote back.
+	f.tm.Crash()
+	f.attach(t, 64, false)
+	if n := f.scanCount(t); n != len(committed) {
+		t.Fatalf("post-recovery scan: %d rows, want %d committed", n, len(committed))
+	}
+	for id := range committed {
+		if got := f.lookup(t, id); got != bulk {
+			t.Fatalf("committed key %d missing after recovery (%q)", id, got)
+		}
+	}
+	for id := range aborted {
+		if got := f.lookup(t, id); got != "" {
+			t.Fatalf("aborted key %d visible after recovery", id)
+		}
+	}
+}
+
+// TestCommitCheckpointCrashInterleaving runs concurrent committers, a
+// checkpointer taking the drain barrier mid-stream, and a crash injected
+// while workers are in flight; recovery must show exactly the commits
+// that succeeded.
+func TestCommitCheckpointCrashInterleaving(t *testing.T) {
+	f := newFixture(t, 64)
+	if err := f.tm.Checkpoint(f.sess); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 4
+	const each = 20
+	f.tm.CrashAtCommit(workers * each / 2)
+
+	var mu sync.Mutex
+	committed := make(map[int64]bool)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers+1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := f.inst.NewSession()
+			for i := 0; i < each; i++ {
+				id := int64(1000*w + i)
+				err := f.insertRetry(sess, id, fmt.Sprintf("v%d", id))
+				if errors.Is(err, ErrCrashed) {
+					return // this key and everything after it is lost
+				}
+				if err != nil {
+					errs <- fmt.Errorf("worker %d insert %d: %w", w, i, err)
+					return
+				}
+				mu.Lock()
+				committed[id] = true
+				mu.Unlock()
+			}
+		}(w)
+	}
+	// A checkpointer interleaves with the committers until the crash.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ckSess := f.inst.NewSession()
+		for {
+			err := f.tm.Checkpoint(ckSess)
+			if errors.Is(err, ErrCrashed) {
+				return
+			}
+			if err != nil {
+				errs <- fmt.Errorf("checkpoint: %w", err)
+				return
+			}
+			if f.tm.Dead() {
+				return
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if !f.tm.Dead() {
+		t.Fatal("crash harness never fired")
+	}
+	f.tm.Crash()
+
+	stats := f.attach(t, 64, false)
+	if stats == nil {
+		t.Fatal("no recovery stats")
+	}
+	if n := f.scanCount(t); n != len(committed) {
+		t.Fatalf("post-recovery scan: %d rows, want %d", n, len(committed))
+	}
+	for id := range committed {
+		if got, want := f.lookup(t, id), fmt.Sprintf("v%d", id); got != want {
+			t.Fatalf("committed key %d: got %q want %q", id, got, want)
+		}
+	}
+	for w := 0; w < workers; w++ {
+		for i := 0; i < each; i++ {
+			id := int64(1000*w + i)
+			if !committed[id] && f.lookup(t, id) != "" {
+				t.Fatalf("uncommitted key %d visible after recovery", id)
+			}
+		}
+	}
+}

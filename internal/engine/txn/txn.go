@@ -1,23 +1,34 @@
 // Package txn adds Begin/Commit/Abort transaction sessions — the OLTP
 // extension of Section 8 — on top of the engine and the write-ahead log.
 //
-// The design is deliberately simple and matches the WAL's redo-only
-// recovery contract:
+// Mutating transactions run concurrently under page-granular strict
+// two-phase locking (package lockmgr): each transaction runs on its own
+// session stream, acquires shared/exclusive page locks through buffer
+// pool hooks bound to that stream, and holds them until its outcome is
+// decided. A lock-manager deadlock surfaces from any heap/btree
+// operation as lockmgr.ErrDeadlock; the caller aborts and retries.
+// Read-only transactions run lock-free.
 //
-//   - Mutating transactions are serialized by the manager (the simulated
-//     concurrency of interest is device contention between streams, not
-//     row-level locking); read-only transactions run lock-free.
-//   - While a mutating transaction runs, a buffer pool capture hook
+// The design matches the WAL's redo-only recovery contract:
+//
+//   - While a mutating transaction runs, its per-transaction capture set
 //     records, for every page it installs, the pre-image (for abort) and
-//     the post-image (for the WAL), and pins the frame: the no-steal
-//     policy that guarantees uncommitted pages never reach the storage
-//     system.
+//     the post-image (for the WAL), and pins the frame on the
+//     transaction's behalf: the no-steal policy that guarantees
+//     uncommitted pages never reach the storage system.
 //   - Commit appends one LSN-stamped page record per captured write plus
-//     a commit record, then forces the log through the group-commit
-//     window. Only after the force are the frames unpinned for lazy
-//     write-back.
+//     a commit record, releases the locks, then joins a commit batch:
+//     concurrent committers share a single log force (their commit
+//     records amortize one flush), and a commit covered by the group
+//     window pays only the wait. Only after the force are the frames
+//     unpinned for lazy write-back.
 //   - Abort restores the pre-images in reverse order; nothing needs
 //     undoing on disk because nothing uncommitted ever got there.
+//   - Checkpoints take a drain barrier: new transactions are held at
+//     Begin while every in-flight transaction runs to completion
+//     (including its post-flush unpin), so a checkpoint can never slide
+//     between a commit record and its flush and strand pinned frames
+//     above the checkpoint LSN.
 //
 // The package also provides the crash-injection harness: CrashAtCommit
 // arms a simulated kill at the n-th commit — the victim's page records
@@ -28,53 +39,105 @@ package txn
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"hstoragedb/internal/engine"
+	"hstoragedb/internal/engine/bufferpool"
+	"hstoragedb/internal/engine/lockmgr"
 	"hstoragedb/internal/engine/policy"
 	"hstoragedb/internal/engine/wal"
 	"hstoragedb/internal/pagestore"
+	"hstoragedb/internal/simclock"
 )
 
 // ErrCrashed is returned by operations on a manager whose instance has
 // been killed by the crash-injection harness.
 var ErrCrashed = errors.New("txn: simulated crash")
 
+// ErrDeadlock re-exports the lock manager's deadlock error: transactions
+// refused with it should abort and retry.
+var ErrDeadlock = lockmgr.ErrDeadlock
+
+// GroupCommitStats summarize the commit-batching coordinator.
+type GroupCommitStats struct {
+	// Batches counts log forces performed by batch leaders; Txns counts
+	// the commits that rode them. Txns/Batches is the mean number of
+	// commit records amortizing one force.
+	Batches int64
+	Txns    int64
+}
+
+// MeanBatch returns the mean commits per force (0 with no batches).
+func (g GroupCommitStats) MeanBatch() float64 {
+	if g.Batches == 0 {
+		return 0
+	}
+	return float64(g.Txns) / float64(g.Batches)
+}
+
+// gcBatch is one in-formation commit batch: committers that arrive while
+// it is open share its leader's flush.
+type gcBatch struct {
+	maxLSN wal.LSN
+	n      int
+	err    error
+	doneAt simclock.Duration
+	done   chan struct{}
+}
+
 // Manager coordinates transactions over one engine instance and one log.
+// All methods are safe for concurrent use.
 type Manager struct {
 	inst *engine.Instance
 	log  *wal.Manager
+	lm   *lockmgr.Manager
 
-	mu       sync.Mutex // serializes mutating transactions and checkpoints
-	commitMu sync.Mutex // orders commit flushes against checkpoints
+	// gate is the drain barrier: every transaction holds the read side
+	// from Begin until its outcome is fully applied; Checkpoint takes the
+	// write side, so it runs with no transaction in flight.
+	gate sync.RWMutex
 
-	commits int64
-	aborts  int64
-
+	// seqMu serializes the commit decision point: the crash-harness
+	// check and the commit-record append happen atomically, so the n-th
+	// commit is well-defined under concurrency and no commit record is
+	// appended after the simulated kill.
+	seqMu         sync.Mutex
 	crashAtCommit int64 // 1-based commit ordinal to kill at; 0 = disarmed
-	dead          bool
+
+	commits atomic.Int64
+	aborts  atomic.Int64
+	dead    atomic.Bool
+
+	gcMu      sync.Mutex
+	gcCur     *gcBatch
+	gcBatches atomic.Int64
+	gcTxns    atomic.Int64
 }
 
 // NewManager builds a transaction manager over an instance and its log.
 func NewManager(inst *engine.Instance, log *wal.Manager) *Manager {
-	return &Manager{inst: inst, log: log}
+	return &Manager{inst: inst, log: log, lm: lockmgr.New()}
 }
 
 // WAL exposes the log manager.
 func (m *Manager) WAL() *wal.Manager { return m.log }
 
-// Commits reports how many transactions have committed.
-func (m *Manager) Commits() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.commits
-}
+// Commits reports how many transactions have committed. It never blocks
+// behind in-flight transactions.
+func (m *Manager) Commits() int64 { return m.commits.Load() }
 
-// Aborts reports how many transactions have rolled back.
-func (m *Manager) Aborts() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.aborts
+// Aborts reports how many transactions have rolled back. It never blocks
+// behind in-flight transactions.
+func (m *Manager) Aborts() int64 { return m.aborts.Load() }
+
+// LockStats returns a snapshot of the lock manager's counters.
+func (m *Manager) LockStats() lockmgr.Stats { return m.lm.Stats() }
+
+// GroupCommit returns a snapshot of the commit-batching counters.
+func (m *Manager) GroupCommit() GroupCommitStats {
+	return GroupCommitStats{Batches: m.gcBatches.Load(), Txns: m.gcTxns.Load()}
 }
 
 // CrashAtCommit arms the crash-injection harness: the n-th commit (counted
@@ -82,13 +145,13 @@ func (m *Manager) Aborts() int64 {
 // its commit record, and every later operation fails with ErrCrashed.
 // n <= 0 disarms.
 func (m *Manager) CrashAtCommit(n int64) {
-	m.mu.Lock()
+	m.seqMu.Lock()
 	if n <= 0 {
 		m.crashAtCommit = 0
 	} else {
-		m.crashAtCommit = m.commits + n
+		m.crashAtCommit = m.commits.Load() + n
 	}
-	m.mu.Unlock()
+	m.seqMu.Unlock()
 }
 
 // Crash kills the instance: volatile state (the buffer pool, including
@@ -96,28 +159,22 @@ func (m *Manager) CrashAtCommit(n int64) {
 // manager refuses further work. The durable page store survives for
 // recovery by a fresh instance.
 func (m *Manager) Crash() {
-	m.mu.Lock()
-	m.dead = true
-	m.inst.Pool.SetCapture(nil)
+	m.dead.Store(true)
+	m.inst.Pool.UnbindAll()
 	m.inst.Crash()
-	m.mu.Unlock()
 }
 
-// Dead reports whether the manager has been killed.
-func (m *Manager) Dead() bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.dead
-}
+// Dead reports whether the manager has been killed. It never blocks
+// behind in-flight transactions.
+func (m *Manager) Dead() bool { return m.dead.Load() }
 
-// Checkpoint flushes all committed work and truncates the log. It runs
-// with no transaction in flight.
+// Checkpoint flushes all committed work and truncates the log. It takes
+// the drain barrier: in-flight transactions run to completion first, and
+// new ones wait at Begin until the checkpoint finishes.
 func (m *Manager) Checkpoint(sess *engine.Session) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.commitMu.Lock()
-	defer m.commitMu.Unlock()
-	if m.dead {
+	m.gate.Lock()
+	defer m.gate.Unlock()
+	if m.dead.Load() {
 		return ErrCrashed
 	}
 	return m.log.Checkpoint(&sess.Clk, m.inst.Pool)
@@ -144,8 +201,10 @@ type preimage struct {
 	preDirty bool
 }
 
-// Txn is one transaction. A mutating transaction holds the manager's
-// serialization lock from Begin until Commit or Abort.
+// Txn is one transaction. A mutating transaction is bound to its
+// session's stream and holds its page locks from first touch until
+// Commit or Abort (strict two-phase locking). A Txn is driven by one
+// goroutine; distinct transactions run concurrently.
 type Txn struct {
 	m        *Manager
 	sess     *engine.Session
@@ -158,12 +217,16 @@ type Txn struct {
 	finished bool
 }
 
-// Begin starts a mutating transaction on the session, taking the
-// manager's serialization lock.
+// Begin starts a mutating transaction on the session. The session stream
+// must not already have a transaction in flight; concurrent transactions
+// run on distinct sessions.
 func (m *Manager) Begin(sess *engine.Session) (*Txn, error) {
-	m.mu.Lock()
-	if m.dead {
-		m.mu.Unlock()
+	if m.dead.Load() {
+		return nil, ErrCrashed
+	}
+	m.gate.RLock()
+	if m.dead.Load() {
+		m.gate.RUnlock()
 		return nil, ErrCrashed
 	}
 	t := &Txn{
@@ -174,14 +237,18 @@ func (m *Manager) Begin(sess *engine.Session) (*Txn, error) {
 		touched: make(map[pageKey]struct{}),
 	}
 	if _, err := m.log.Append(&sess.Clk, wal.Record{Txn: t.id, Kind: wal.KindBegin}); err != nil {
-		m.mu.Unlock()
+		m.gate.RUnlock()
 		return nil, err
 	}
-	m.inst.Pool.SetCapture(t.capture)
+	m.inst.Pool.BindTxn(&sess.Clk, &bufferpool.TxnHooks{
+		ID:      t.id,
+		Acquire: t.acquire,
+		Capture: t.capture,
+	})
 	return t, nil
 }
 
-// BeginRead starts a read-only transaction: no lock, no log records.
+// BeginRead starts a read-only transaction: no locks, no log records.
 func (m *Manager) BeginRead(sess *engine.Session) *Txn {
 	return &Txn{m: m, sess: sess, readOnly: true}
 }
@@ -196,6 +263,37 @@ func (t *Txn) Op(k wal.Kind) {
 	if k.PageRecord() {
 		t.op = k
 	}
+}
+
+// acquire is the buffer pool lock hook: it takes the page lock (shared
+// for reads, exclusive for writes) before the frame access. Temporary
+// and log pages are not transactional data and are never locked. A
+// deadlock propagates out of the pool call as lockmgr.ErrDeadlock.
+func (t *Txn) acquire(tag policy.Tag, page int64, write bool) error {
+	if tag.Content == policy.Temp || tag.Content == policy.Log {
+		return nil
+	}
+	mode := lockmgr.Shared
+	if write {
+		mode = lockmgr.Exclusive
+	}
+	return t.m.lm.Acquire(t.id, lockmgr.PageID{Obj: tag.Object, Page: page}, mode)
+}
+
+// LockAppend takes the object's append lock: an exclusive lock on a
+// synthetic page (-1) that serializes heap appenders. An appender
+// decides its start page from the file's logical size *before* its first
+// Put can take a real page lock, so two concurrent appenders would
+// otherwise claim the same fresh page and the later commit would
+// overwrite the earlier one's rows. Callers must take the append lock
+// before creating an appender on a shared table; it is held, like every
+// lock, until the transaction finishes. Returns lockmgr.ErrDeadlock like
+// any other acquisition.
+func (t *Txn) LockAppend(obj pagestore.ObjectID) error {
+	if t.readOnly {
+		return nil
+	}
+	return t.m.lm.Acquire(t.id, lockmgr.PageID{Obj: obj, Page: -1}, lockmgr.Exclusive)
 }
 
 // capture is the buffer pool hook: it runs under the pool mutex for every
@@ -220,9 +318,10 @@ func (t *Txn) capture(tag policy.Tag, page int64, pre []byte, preDirty bool, pos
 	return pin
 }
 
-// Commit appends the transaction's page records and a commit record, then
-// forces the log. It returns once the commit is durable — possibly via a
-// group-commit flush another session performed. If the crash harness is
+// Commit appends the transaction's page records and a commit record,
+// releases the page locks, then joins the group-commit batch and returns
+// once the commit is durable — usually via a flush a batch leader
+// performed for several committers at once. If the crash harness is
 // armed for this commit, the page records reach the log but the commit
 // record does not, and ErrCrashed is returned.
 func (t *Txn) Commit() error {
@@ -235,10 +334,24 @@ func (t *Txn) Commit() error {
 	}
 	m := t.m
 	clk := &t.sess.Clk
-	m.inst.Pool.SetCapture(nil)
+	m.inst.Pool.UnbindTxn(clk)
 
+	// Only the final image of each touched page needs redo: the records
+	// carry full post-images, intermediate versions are overwritten at
+	// replay anyway, and the page locks are held until after the commit
+	// record, so the per-page version order across transactions matches
+	// the log order. Deduplicating here cuts the dominant log volume
+	// (hot pages — index meta and leaf pages — are rewritten several
+	// times per transaction).
+	finalImage := make(map[pageKey]int, len(t.writes))
+	for i, w := range t.writes {
+		finalImage[pageKey{obj: w.tag.Object, page: w.page}] = i
+	}
 	var last wal.LSN
-	for _, w := range t.writes {
+	for i, w := range t.writes {
+		if finalImage[pageKey{obj: w.tag.Object, page: w.page}] != i {
+			continue
+		}
 		lsn, err := m.log.Append(clk, wal.Record{
 			Txn: t.id, Kind: w.kind, Obj: w.tag.Object, Page: w.page, Image: w.post,
 		})
@@ -247,53 +360,106 @@ func (t *Txn) Commit() error {
 			// back so the pins are released and nothing uncommitted
 			// lingers in the pool.
 			t.restoreFrames()
-			m.mu.Unlock()
+			m.lm.ReleaseAll(t.id)
+			m.gate.RUnlock()
 			return err
 		}
 		last = lsn
 	}
 
-	if m.crashAtCommit != 0 && m.commits+1 >= m.crashAtCommit {
+	// The commit decision point: the crash check and the commit-record
+	// append are atomic, so the n-th commit is well-defined and nothing
+	// commits after the simulated kill.
+	m.seqMu.Lock()
+	if m.dead.Load() {
+		// The instance died (crash harness) while this transaction was
+		// running: its commit record must not be appended. The locks are
+		// released so concurrent transactions can fail promptly rather
+		// than hang; the pool's volatile state dies with the instance.
+		m.seqMu.Unlock()
+		m.lm.ReleaseAll(t.id)
+		m.gate.RUnlock()
+		return ErrCrashed
+	}
+	if m.crashAtCommit != 0 && m.commits.Load()+1 >= m.crashAtCommit {
 		// Simulated kill between writing the transaction's records and
 		// its commit record: the log knows the transaction but recovery
 		// must treat it as a loser.
-		m.dead = true
+		m.dead.Store(true)
+		m.seqMu.Unlock()
 		err := m.log.Flush(clk, last)
-		m.mu.Unlock()
+		m.lm.ReleaseAll(t.id)
+		m.gate.RUnlock()
 		if err != nil {
 			return err
 		}
 		return ErrCrashed
 	}
-
 	lsn, err := m.log.Append(clk, wal.Record{Txn: t.id, Kind: wal.KindCommit})
 	if err != nil {
+		m.seqMu.Unlock()
 		t.restoreFrames()
-		m.mu.Unlock()
+		m.lm.ReleaseAll(t.id)
+		m.gate.RUnlock()
 		return err
 	}
-	m.commits++
-	// commitMu must be taken before m.mu is released: Checkpoint
-	// acquires m.mu then commitMu, so grabbing it here (same order)
-	// closes the window in which a checkpoint could slide between this
-	// transaction's commit record and its flush+unpin — a checkpoint in
-	// that window would skip the still-pinned frames in FlushAll yet
-	// stamp an LSN above their page records, making redo skip them too.
-	m.commitMu.Lock()
-	m.mu.Unlock()
+	m.commits.Add(1)
+	m.seqMu.Unlock()
 
-	// The force runs outside the serialization lock: the next transaction
-	// may start building while this one waits out the group-commit
-	// window. Frames stay pinned until the records are durable; they are
+	// Strict 2PL ends here: the commit record is appended, so the
+	// version order of every touched page is sealed in the log and the
+	// locks can be released while the force is still pending. A
+	// transaction that reads the freshly committed data and commits
+	// flushes the log through a later LSN, which covers this one.
+	m.lm.ReleaseAll(t.id)
+
+	// The force is batched: concurrent committers share one flush.
+	// Frames stay pinned until the records are durable; they are
 	// released even on a flush error (the commit record is appended, so
 	// rolling the frames back could contradict a log that did reach the
 	// device), which keeps the pool from leaking pinned frames.
-	err = m.log.Flush(clk, lsn)
+	err = m.groupFlush(clk, lsn)
 	for _, p := range t.pres {
-		m.inst.Pool.Unpin(p.obj, p.page)
+		m.inst.Pool.Unpin(t.id, p.obj, p.page)
 	}
-	m.commitMu.Unlock()
+	m.gate.RUnlock()
 	return err
+}
+
+// groupFlush makes lsn durable through the commit batch: the first
+// committer to open a batch becomes its leader and forces the log to the
+// batch's highest LSN; committers arriving while the batch is open ride
+// the same force and only advance their clocks to its completion.
+func (m *Manager) groupFlush(clk *simclock.Clock, lsn wal.LSN) error {
+	m.gcMu.Lock()
+	if b := m.gcCur; b != nil {
+		if lsn > b.maxLSN {
+			b.maxLSN = lsn
+		}
+		b.n++
+		m.gcMu.Unlock()
+		<-b.done
+		clk.AdvanceTo(b.doneAt)
+		return b.err
+	}
+	b := &gcBatch{maxLSN: lsn, n: 1, done: make(chan struct{})}
+	m.gcCur = b
+	m.gcMu.Unlock()
+	// Yield a few times so committers racing this one can join the batch
+	// before the leader claims it.
+	for i := 0; i < 4; i++ {
+		runtime.Gosched()
+	}
+	m.gcMu.Lock()
+	m.gcCur = nil
+	maxLSN := b.maxLSN
+	m.gcMu.Unlock()
+	b.err = m.log.Flush(clk, maxLSN)
+	b.doneAt = clk.Now()
+	m.gcBatches.Add(1)
+	m.gcTxns.Add(int64(b.n))
+	close(b.done)
+	return b.err
 }
 
 // restoreFrames rewinds every touched frame to its pre-image in reverse
@@ -301,13 +467,15 @@ func (t *Txn) Commit() error {
 func (t *Txn) restoreFrames() {
 	for i := len(t.pres) - 1; i >= 0; i-- {
 		p := t.pres[i]
-		t.m.inst.Pool.Restore(p.obj, p.page, p.pre, p.preDirty)
+		t.m.inst.Pool.Restore(t.id, p.obj, p.page, p.pre, p.preDirty)
 	}
 }
 
 // Abort rolls the transaction back by restoring every touched frame to
-// its pre-image (reverse order) and releasing the pins. The disk needs no
-// undo: the no-steal pool never let uncommitted pages out.
+// its pre-image (reverse order), releasing the pins and the page locks.
+// The disk needs no undo: the no-steal pool never let uncommitted pages
+// out. Abort is the required response to lockmgr.ErrDeadlock, after
+// which the transaction may be retried.
 func (t *Txn) Abort() error {
 	if t.finished {
 		return fmt.Errorf("txn %d: already finished", t.id)
@@ -317,10 +485,11 @@ func (t *Txn) Abort() error {
 		return nil
 	}
 	m := t.m
-	m.inst.Pool.SetCapture(nil)
+	m.inst.Pool.UnbindTxn(&t.sess.Clk)
 	t.restoreFrames()
+	m.lm.ReleaseAll(t.id)
 	_, err := m.log.Append(&t.sess.Clk, wal.Record{Txn: t.id, Kind: wal.KindAbort})
-	m.aborts++
-	m.mu.Unlock()
+	m.aborts.Add(1)
+	m.gate.RUnlock()
 	return err
 }

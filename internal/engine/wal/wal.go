@@ -422,8 +422,9 @@ func (m *Manager) Flush(clk *simclock.Clock, lsn LSN) error {
 // Checkpoint flushes the buffer pool's committed dirty pages, appends a
 // checkpoint record, forces the log, and truncates every segment before
 // the active one — their blocks are TRIMmed out of the cache. The caller
-// must guarantee no transaction is mid-flight (the transaction manager
-// serializes checkpoints with commits).
+// must guarantee no transaction is mid-flight (the transaction manager's
+// drain barrier holds new transactions at Begin and waits out in-flight
+// ones before calling here).
 func (m *Manager) Checkpoint(clk *simclock.Clock, pool *bufferpool.Pool) error {
 	if err := pool.FlushAll(clk); err != nil {
 		return err

@@ -124,6 +124,7 @@ func TestARCDirtyWriteBack(t *testing.T) {
 	if c.Stats().DirtyEvict == 0 {
 		t.Fatal("dirty block evicted without write-back")
 	}
+	c.Sched().Drain() // release the deferred destage
 	if c.HDD().Stats().Writes == 0 {
 		t.Fatal("no HDD write for dirty eviction")
 	}

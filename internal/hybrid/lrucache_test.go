@@ -63,6 +63,7 @@ func TestLRUDirtyWriteBack(t *testing.T) {
 	if c.Stats().DirtyEvict != 1 {
 		t.Fatalf("dirtyEvict = %d", c.Stats().DirtyEvict)
 	}
+	c.Sched().Drain() // release the deferred destage
 	if c.HDD().Stats().Writes != 1 {
 		t.Fatalf("HDD writes = %d", c.HDD().Stats().Writes)
 	}

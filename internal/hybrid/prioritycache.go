@@ -1,6 +1,7 @@
 package hybrid
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -286,8 +287,25 @@ func (c *priorityCache) writeBlock(at time.Duration, req dss.Request, lbn int64)
 }
 
 // writeBuffered handles Rule 4 updates: they win cache space over any
-// other priority, bounded by the write-buffer budget b.
+// other priority, bounded by the write-buffer budget b. With a zero
+// budget (the b = 0 ablation) there is no write buffer at all: the
+// update goes to the HDD on the caller's critical path, exactly the
+// behaviour Rule 4 exists to avoid.
 func (c *priorityCache) writeBuffered(at time.Duration, req dss.Request, lbn int64) (time.Duration, bool) {
+	if c.wbLimit <= 0 {
+		c.mu.Lock()
+		if meta := c.table[lbn]; meta != nil {
+			// A cached copy would go stale (and a dirty one would later
+			// destage over the fresh data): drop it before bypassing.
+			if meta.class == wbGroup {
+				c.wbBlocks--
+			}
+			c.drop(meta)
+		}
+		c.base.snap.Bypasses++
+		c.mu.Unlock()
+		return submitDev(c.hddS, at, req, device.Write, lbn, 1), false
+	}
 	c.mu.Lock()
 	meta := c.table[lbn]
 	hit := meta != nil
@@ -370,13 +388,21 @@ func (c *priorityCache) writeLog(at time.Duration, req dss.Request, lbn int64) (
 func (c *priorityCache) flushWriteBuffer(at time.Duration) {
 	g := c.groups[wbGroup]
 	demoteTo := c.pol.RandHigh
+	var dirty []int64
 	for g.len() > 0 {
 		meta := g.back()
 		if meta.dirty {
-			c.hddS.SubmitBackground(at, device.Write, meta.lbn, 1, dss.ClassWriteBuffer)
+			dirty = append(dirty, meta.lbn)
 			meta.dirty = false
 		}
 		c.moveGroup(meta, demoteTo)
+	}
+	// Destage in LBA order: an elevator pass turns the buffer's random
+	// update footprint into near-sequential HDD runs the scheduler can
+	// coalesce, instead of one positioning penalty per block.
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
+	for _, lbn := range dirty {
+		c.hddS.SubmitBackground(at, device.Write, lbn, 1, dss.ClassWriteBuffer)
 	}
 	c.wbBlocks = 0
 	c.base.snap.WBFlushes++

@@ -50,10 +50,15 @@
 //     keeps single-query runs identical in spirit to the seed model.
 //
 // Background work (write-back destages, asynchronous flushes) is queued
-// in a band below every foreground class and granted only when the
-// device has no foreground work waiting; it is exempt from aging, so a
-// saturated foreground phase can grow the destage backlog without bound
-// (write-back throttling is a named follow-up).
+// in a band below every foreground class. It is granted when the device
+// has no foreground work waiting, and — write-back throttling — through
+// a token budget: foreground grants earn background a BackgroundShare
+// fraction of their blocks as credit, and a backlog with credit is
+// granted its best batch even while foreground waits, so a saturated
+// foreground phase cannot grow the destage backlog without bound.
+// Deferral is also what makes destages cheap: queued LBA-adjacent
+// background writes coalesce into single large accesses instead of each
+// paying the positioning cost alone.
 package iosched
 
 import (
@@ -101,12 +106,25 @@ type Config struct {
 	// ReadaheadCap bounds the prefetch buffer in blocks. Zero means
 	// 8 * Readahead.
 	ReadaheadCap int
+
+	// BackgroundShare is the write-back throttling budget: the fraction
+	// of foreground-granted device blocks earned as credit by queued
+	// background work. While background has a backlog and at least one
+	// block of credit, its best batch is granted even though foreground
+	// is waiting, so a saturated foreground phase can no longer starve
+	// destages and grow the backlog without bound. Deferred background
+	// work accumulates in the queue, where LBA-adjacent destages
+	// coalesce into single large accesses. Zero means the default of
+	// 0.3; negative disables the budget (background runs only when the
+	// device idles — the pre-throttling behaviour).
+	BackgroundShare float64
 }
 
 const (
-	defaultAgingBound  = 10 * time.Millisecond
-	defaultMaxCoalesce = 64
-	defaultReadahead   = 32
+	defaultAgingBound      = 10 * time.Millisecond
+	defaultMaxCoalesce     = 64
+	defaultReadahead       = 32
+	defaultBackgroundShare = 0.3
 )
 
 func (c Config) withDefaults() Config {
@@ -122,12 +140,20 @@ func (c Config) withDefaults() Config {
 	if c.ReadaheadCap <= 0 && c.Readahead > 0 {
 		c.ReadaheadCap = 8 * c.Readahead
 	}
+	if c.BackgroundShare == 0 {
+		c.BackgroundShare = defaultBackgroundShare
+	}
 	return c
 }
 
 // backgroundBand offsets the rank of background requests below every
 // foreground class.
 const backgroundBand = 1 << 24
+
+// budgetMaxCoalesce caps the batch size of a budget-forced background
+// grant: it runs ahead of waiting foreground, so the interference it
+// injects must stay bounded (~one-quarter of a full coalesced batch).
+const budgetMaxCoalesce = 16
 
 // NoReadahead is a sentinel seqClass for Attach that matches no real
 // request class, disabling readahead on that device. Cache devices need
@@ -209,6 +235,18 @@ type Stats struct {
 	PrefetchHits   int64
 	// MaxQueue is the deepest the pending queue has been.
 	MaxQueue int
+	// BackgroundGrants counts device accesses granted to background
+	// work; BackgroundBlocks the blocks they carried; BudgetGrants the
+	// grants the write-back budget forced ahead of waiting foreground.
+	BackgroundGrants int64
+	BackgroundBlocks int64
+	BudgetGrants     int64
+	// Absorbed counts queued background writes dropped because a newer
+	// background write to the same block superseded them before they
+	// reached the device (write absorption in the deferred backlog).
+	Absorbed int64
+	// MaxBackgroundQueue is the deepest the background backlog has been.
+	MaxBackgroundQueue int
 }
 
 // Group is the scheduling domain of one storage system: the schedulers
@@ -263,19 +301,19 @@ func (g *Group) Unregister(clk *simclock.Clock) {
 	g.mu.Lock()
 	delete(g.registered, clk)
 	if len(g.registered) == 0 {
-		g.drainLocked()
+		g.drainLocked(true)
 	} else if g.blocked >= len(g.registered) {
 		g.dispatchLocked()
 	}
 	g.mu.Unlock()
 }
 
-// Drain grants every queued request (background flushes included) in
-// priority order. The storage manager calls it before settling device
-// busy horizons at the end of a run.
+// Drain grants every queued request (background flushes included, budget
+// or not) in priority order. The storage manager calls it before
+// settling device busy horizons at the end of a run.
 func (g *Group) Drain() {
 	g.mu.Lock()
-	g.drainLocked()
+	g.drainLocked(true)
 	g.mu.Unlock()
 }
 
@@ -306,7 +344,7 @@ func (g *Group) dispatchLocked() {
 			if len(s.pending) == 0 {
 				continue
 			}
-			if s.grantBestLocked() {
+			if s.grantBestLocked(false) {
 				progress = true
 			}
 			if g.blocked < len(g.registered) {
@@ -322,22 +360,36 @@ func (g *Group) dispatchLocked() {
 	}
 }
 
-// drainLocked grants until every queue is empty, yielding between grants
-// so concurrently arriving requests can join the priority order. Caller
-// holds g.mu. Re-entrant calls (a drain triggered while another is in a
-// yield window) return immediately.
-func (g *Group) drainLocked() {
+// drainLocked grants eligible work until none remains, yielding between
+// grants so concurrently arriving requests can join the priority order.
+// With all set (an explicit Drain, or the last registered stream
+// leaving) every queued request is granted; otherwise — the
+// opportunistic dispatch path — foreground is fully granted but
+// background only as its write-back budget allows, so the destage
+// backlog stays queued (and keeps coalescing) instead of trickling onto
+// the device one positioning penalty at a time. Caller holds g.mu.
+// Re-entrant calls (a drain triggered while another is in a yield
+// window) return immediately.
+func (g *Group) drainLocked(all bool) {
 	if g.dispatching {
 		return
 	}
 	g.dispatching = true
 	for {
-		n := 0
 		for _, s := range g.scheds {
 			if len(s.pending) > 0 {
-				s.grantBestLocked()
+				s.grantBestLocked(all)
 			}
-			n += len(s.pending)
+		}
+		// Exit as soon as no eligible work remains: the dispatcher must
+		// not stay captive granting other streams' arrivals (its own
+		// workload would stall in real time), and deferred background is
+		// not eligible work.
+		n := 0
+		for _, s := range g.scheds {
+			if s.hasEligibleLocked(all) {
+				n++
+			}
 		}
 		if n == 0 {
 			break
@@ -358,6 +410,21 @@ type Scheduler struct {
 	pending []*request
 	seq     uint64
 	stats   Stats
+
+	// nFg and nBg count pending foreground/background requests, so
+	// eligibility probes stay O(1) against a deep deferred backlog;
+	// bgWriteLBAs counts pending single-block background writes per
+	// LBA, so the absorption check scans the queue only on an actual
+	// duplicate.
+	nFg        int
+	nBg        int
+	bgWriteLBA map[int64]int
+
+	// bgCredit is the write-back budget balance in blocks: foreground
+	// grants deposit BackgroundShare of their blocks, budget-forced
+	// background grants withdraw what they carried (possibly
+	// overdrawing by one coalesced batch, which later deposits repay).
+	bgCredit float64
 
 	ra        map[int64]time.Duration // prefetch buffer: lba -> ready time
 	raOrder   []int64                 // FIFO eviction order (may hold stale keys)
@@ -433,7 +500,7 @@ func (s *Scheduler) Submit(at time.Duration, op device.Op, lba int64, blocks int
 			return w.completion
 		}
 	}
-	g.drainLocked()
+	g.drainLocked(false)
 	g.mu.Unlock()
 	<-w.done
 	if floor > w.completion {
@@ -444,10 +511,12 @@ func (s *Scheduler) Submit(at time.Duration, op device.Op, lba int64, blocks int
 
 // SubmitBackground queues work no requester waits on (write-back
 // destages, asynchronous cache fills). It is granted below every
-// foreground class, only when the device would otherwise idle, and is
-// exempt from aging — nobody waits on it, so it must never jump ahead
-// of foreground traffic. Safe to call while holding caller locks: it
-// never blocks on a grant.
+// foreground class — on an idle device, when the backlog's write-back
+// budget covers it, or at the final Drain — and it is exempt from
+// aging: nobody waits on it, so it never jumps ahead of foreground
+// traffic on age. Deferred work stays queued, where adjacent destages
+// coalesce. Safe to call while holding caller locks: it never blocks
+// on a grant.
 func (s *Scheduler) SubmitBackground(at time.Duration, op device.Op, lba int64, blocks int, class dss.Class) {
 	if blocks <= 0 {
 		return
@@ -461,10 +530,23 @@ func (s *Scheduler) SubmitBackground(at time.Duration, op device.Op, lba int64, 
 	g.mu.Lock()
 	if op == device.Write {
 		s.invalidateRALocked(lba, blocks)
+		// Write absorption: a queued background write to the same block
+		// is superseded by this one — the device only needs the latest
+		// copy, so the stale destage is dropped before it costs a
+		// positioning penalty.
+		if blocks == 1 && s.bgWriteLBA[lba] > 0 {
+			for i, r := range s.pending {
+				if r.w == nil && r.op == device.Write && r.blocks == 1 && r.lba == lba {
+					s.remove(i)
+					s.stats.Absorbed++
+					break
+				}
+			}
+		}
 	}
 	s.enqueueLocked(nil, at, op, lba, blocks, class)
 	if len(g.registered) == 0 {
-		g.drainLocked()
+		g.drainLocked(false)
 	}
 	g.mu.Unlock()
 }
@@ -511,6 +593,15 @@ func (s *Scheduler) enqueueLocked(w *waiter, at time.Duration, op device.Op, lba
 		s.seq++
 		if w != nil {
 			w.remaining++
+			s.nFg++
+		} else {
+			s.nBg++
+			if op == device.Write && n == 1 {
+				if s.bgWriteLBA == nil {
+					s.bgWriteLBA = make(map[int64]int)
+				}
+				s.bgWriteLBA[lba]++
+			}
 		}
 		s.pending = append(s.pending, r)
 		lba += int64(n)
@@ -519,18 +610,33 @@ func (s *Scheduler) enqueueLocked(w *waiter, at time.Duration, op device.Op, lba
 	if len(s.pending) > s.stats.MaxQueue {
 		s.stats.MaxQueue = len(s.pending)
 	}
+	if s.nBg > s.stats.MaxBackgroundQueue {
+		s.stats.MaxBackgroundQueue = s.nBg
+	}
+}
+
+// hasEligibleLocked reports whether the queue holds work a dispatch
+// round would grant: any foreground request, or background when allowed
+// by a full drain, a disabled throttle, or available budget credit.
+// Caller holds g.mu.
+func (s *Scheduler) hasEligibleLocked(bgOK bool) bool {
+	if s.nFg > 0 {
+		return true
+	}
+	return s.nBg > 0 && (bgOK || s.g.cfg.BackgroundShare <= 0 || s.bgCredit >= 1)
 }
 
 // pickLocked chooses the next request: the oldest foreground request
-// whose wait would exceed the aging bound, else the best (rank, seq).
-// Background work is exempt from aging — nobody waits on it, so it must
-// never jump ahead of commit-critical traffic (its backlog drains when
-// the foreground queue idles; write-back throttling is future work).
-// FIFO mode picks strictly by arrival. Returns -1 on an empty queue.
-// Caller holds g.mu.
-func (s *Scheduler) pickLocked() int {
+// whose wait would exceed the aging bound, else the best (rank, seq)
+// foreground request, else background. Background is exempt from aging
+// — nobody waits on it — and while foreground is pending it is eligible
+// only when its write-back budget holds at least one block of credit
+// (returned as budget=true so the grant is debited) or when bgOK forces
+// a full drain. FIFO mode picks strictly by arrival. Returns -1 when
+// nothing is eligible. Caller holds g.mu.
+func (s *Scheduler) pickLocked(bgOK bool) (pick int, budget bool) {
 	if len(s.pending) == 0 {
-		return -1
+		return -1, false
 	}
 	if s.g.cfg.FIFO {
 		oldest := 0
@@ -539,26 +645,55 @@ func (s *Scheduler) pickLocked() int {
 				oldest = i
 			}
 		}
-		return oldest
+		return oldest, false
 	}
 	busy := s.dev.BusyUntil()
 	bound := s.g.cfg.AgingBound
-	best, overdue := -1, -1
+	head := s.dev.HeadLBA()
+	bestFg, overdue, bestBg := -1, -1, -1
 	for i, r := range s.pending {
-		if r.w != nil && bound > 0 && busy-r.arrive > bound {
-			if overdue < 0 || olderThan(r, s.pending[overdue]) {
-				overdue = i
+		if r.w != nil {
+			if bound > 0 && busy-r.arrive > bound {
+				if overdue < 0 || olderThan(r, s.pending[overdue]) {
+					overdue = i
+				}
 			}
-		}
-		if best < 0 || betterThan(r, s.pending[best]) {
-			best = i
+			if bestFg < 0 || betterThanAt(r, s.pending[bestFg], head) {
+				bestFg = i
+			}
+		} else if bestBg < 0 || betterThanAt(r, s.pending[bestBg], head) {
+			bestBg = i
 		}
 	}
-	if overdue >= 0 && overdue != best {
+	if overdue >= 0 && overdue != bestFg {
 		s.stats.Boosted++
-		return overdue
+		return overdue, false
 	}
-	return best
+	if bestFg >= 0 {
+		if bestBg >= 0 && s.g.cfg.BackgroundShare > 0 && s.bgCredit >= 1 {
+			// The budget guarantees background its bounded share of
+			// device time even under a saturated foreground phase.
+			return bestBg, true
+		}
+		return bestFg, false
+	}
+	if bestBg >= 0 && !bgOK && s.g.cfg.BackgroundShare > 0 {
+		// Opportunistic dispatch grants background on a genuinely idle
+		// device (free time the request interferes with nothing on) or
+		// against budget credit; otherwise the backlog keeps
+		// accumulating (and coalescing) until credit, idle time or the
+		// final drain releases it. A negative share disables the
+		// throttle entirely and background dispatches eagerly, as
+		// before.
+		if busy <= s.pending[bestBg].arrive {
+			return bestBg, false
+		}
+		if s.bgCredit >= 1 {
+			return bestBg, true
+		}
+		return -1, false
+	}
+	return bestBg, false
 }
 
 func olderThan(a, b *request) bool {
@@ -568,25 +703,56 @@ func olderThan(a, b *request) bool {
 	return a.seq < b.seq
 }
 
-func betterThan(a, b *request) bool {
+// betterThanAt orders same-rank requests by distance from the device
+// head (the elevator pass): with several same-class requests co-pending
+// — concurrent transaction streams, an accumulated destage backlog —
+// the nearest is granted first, so queue depth buys shorter positioning.
+// The aging bound, checked before this ordering applies, keeps far-away
+// requests from starving.
+func betterThanAt(a, b *request, head int64) bool {
 	if a.rank != b.rank {
 		return a.rank < b.rank
+	}
+	if head >= 0 {
+		da, db := a.lba-head, b.lba-head
+		if da < 0 {
+			da = -da
+		}
+		if db < 0 {
+			db = -db
+		}
+		if da != db {
+			return da < db
+		}
 	}
 	return a.seq < b.seq
 }
 
-// remove drops index i from the pending queue, preserving order. Caller
-// holds g.mu.
+// remove drops index i from the pending queue, preserving order and the
+// pending counters. Caller holds g.mu.
 func (s *Scheduler) remove(i int) *request {
 	r := s.pending[i]
 	s.pending = append(s.pending[:i], s.pending[i+1:]...)
+	if r.w != nil {
+		s.nFg--
+	} else {
+		s.nBg--
+		if r.op == device.Write && r.blocks == 1 {
+			if n := s.bgWriteLBA[r.lba]; n > 1 {
+				s.bgWriteLBA[r.lba] = n - 1
+			} else {
+				delete(s.bgWriteLBA, r.lba)
+			}
+		}
+	}
 	return r
 }
 
-// grantBestLocked picks, coalesces and grants one device access. It
+// grantBestLocked picks, coalesces and grants one device access; bgOK
+// lets over-budget background through (idle dispatch, full drain). It
 // reports whether anything was granted. Caller holds g.mu.
-func (s *Scheduler) grantBestLocked() bool {
-	i := s.pickLocked()
+func (s *Scheduler) grantBestLocked(bgOK bool) bool {
+	i, budget := s.pickLocked(bgOK)
 	if i < 0 {
 		return false
 	}
@@ -595,16 +761,23 @@ func (s *Scheduler) grantBestLocked() bool {
 	start, end := head.lba, head.lba+int64(head.blocks)
 	total := head.blocks
 	if s.g.cfg.FIFO {
-		s.grantLocked(batch, start, total)
+		s.grantLocked(batch, start, total, budget)
 		return true
 	}
 	// Coalesce LBA-adjacent queued requests of the same class and
-	// direction into one access.
-	for total < s.g.cfg.MaxCoalesce {
+	// direction into one access. A budget-forced background grant runs
+	// ahead of waiting foreground, so its batch is capped well below
+	// MaxCoalesce: the throttle must bound the latency it injects, not
+	// just the share it consumes.
+	max := s.g.cfg.MaxCoalesce
+	if budget && max > budgetMaxCoalesce {
+		max = budgetMaxCoalesce
+	}
+	for total < max {
 		found := -1
 		prepend := false
 		for j, p := range s.pending {
-			if p.op != head.op || p.class != head.class || total+p.blocks > s.g.cfg.MaxCoalesce {
+			if p.op != head.op || p.class != head.class || total+p.blocks > max {
 				continue
 			}
 			if p.lba == end {
@@ -630,7 +803,7 @@ func (s *Scheduler) grantBestLocked() bool {
 		total += p.blocks
 		s.stats.Coalesced++
 	}
-	s.grantLocked(batch, start, total)
+	s.grantLocked(batch, start, total, budget)
 	return true
 }
 
@@ -638,8 +811,8 @@ func (s *Scheduler) grantBestLocked() bool {
 // the device when no foreground request is waiting. At most one batch
 // per dispatch event keeps destage bursts from monopolizing the device
 // just because the foreground queue went momentarily empty; the rest of
-// the backlog follows on later dispatches or the final Drain. Caller
-// holds g.mu.
+// the backlog follows on later dispatches, budget grants or the final
+// Drain. Caller holds g.mu.
 func (s *Scheduler) grantDueBackgroundLocked() {
 	for _, r := range s.pending {
 		if r.w != nil {
@@ -649,12 +822,14 @@ func (s *Scheduler) grantDueBackgroundLocked() {
 	if len(s.pending) == 0 {
 		return
 	}
-	s.grantBestLocked()
+	s.grantBestLocked(true)
 }
 
 // grantLocked issues one device access for a coalesced batch and
-// completes its requests. Caller holds g.mu.
-func (s *Scheduler) grantLocked(batch []*request, start int64, total int) {
+// completes its requests; budget marks a background grant the write-back
+// budget forced ahead of waiting foreground, which debits its credit.
+// Caller holds g.mu.
+func (s *Scheduler) grantLocked(batch []*request, start int64, total int, budget bool) {
 	head := batch[0]
 	arrive := batch[0].arrive
 	for _, r := range batch[1:] {
@@ -669,6 +844,31 @@ func (s *Scheduler) grantLocked(batch []*request, start int64, total int) {
 		if _, ok := s.ra[start+int64(total)]; !ok {
 			extra = s.g.cfg.Readahead
 		}
+	}
+	// Write-back budget accounting: foreground grants deposit their
+	// share; budget-forced background grants withdraw what they carried.
+	// Idle and drain grants ride free device time and touch no credit.
+	if share := s.g.cfg.BackgroundShare; share > 0 {
+		// The credit cap is one coalesced batch: a budget grant can put
+		// at most MaxCoalesce blocks ahead of waiting foreground, and the
+		// floor at zero keeps bursts from borrowing against the future.
+		creditCap := float64(s.g.cfg.MaxCoalesce)
+		if head.w != nil {
+			s.bgCredit += share * float64(total)
+			if s.bgCredit > creditCap {
+				s.bgCredit = creditCap
+			}
+		} else if budget {
+			s.bgCredit -= float64(total)
+			if s.bgCredit < 0 {
+				s.bgCredit = 0
+			}
+			s.stats.BudgetGrants++
+		}
+	}
+	if head.w == nil {
+		s.stats.BackgroundGrants++
+		s.stats.BackgroundBlocks += int64(total)
 	}
 	end := s.dev.Access(arrive, head.op, start, total+extra)
 	if extra > 0 {

@@ -4,6 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"time"
 
 	"hstoragedb/internal/engine"
 	"hstoragedb/internal/engine/btree"
@@ -13,6 +16,29 @@ import (
 	"hstoragedb/internal/engine/txn"
 	"hstoragedb/internal/engine/wal"
 )
+
+// maxDeadlockRetries bounds how often one logical transaction is retried
+// after losing a deadlock before the error is surfaced.
+const maxDeadlockRetries = 50
+
+// rowCPU is the simulated CPU cost per row operation on the OLTP path
+// (encode/decode, lock acquisition, index maintenance, log insert): a
+// 2012-era core drove roughly 1-2k fully-logged simple transactions
+// per second at ~15 row operations each, i.e. tens of microseconds per
+// row operation; 50us is on the conservative side of that range. The
+// executor charges CPUPerTuple for analytic tuples; transactional row
+// operations do strictly more work
+// per row, so the driver charges its sessions accordingly — which is
+// also what makes concurrency matter: a single-threaded stream leaves
+// the storage system idle while it computes, while concurrent workers
+// overlap their CPU with each other's I/O.
+const rowCPU = 50 * time.Microsecond
+
+// chargeCPU advances the session clock by the CPU cost of n row
+// operations.
+func chargeCPU(sess *engine.Session, n int) {
+	sess.Clk.Advance(time.Duration(n) * rowCPU)
+}
 
 // OLTP is the paper's stated future work (Section 8: "We are currently
 // extending hStorage-DB for OLTP workloads"): a small transaction mix
@@ -32,7 +58,10 @@ import (
 // Run executes the mix bare (no durability, as the seed prototype did);
 // RunTxn wraps every transaction in Begin/Commit against a transaction
 // manager, which adds the log request class to the traffic and makes the
-// mix crash-recoverable.
+// mix crash-recoverable. A transaction that loses a deadlock under the
+// concurrent lock manager is aborted and retried (the Retries counter
+// tallies those), so one OLTP driver per worker session is the unit of
+// the multi-worker driver (RunOLTPWorkers).
 type OLTP struct {
 	ds   *Dataset
 	rng  *rand.Rand
@@ -50,6 +79,8 @@ type OLTP struct {
 	NewOrders     int64
 	Payments      int64
 	OrderStatuses int64
+	// Retries counts deadlock aborts that were retried.
+	Retries int64
 
 	// Committed collects the order keys of NewOrder transactions whose
 	// commit is durable; Lost collects keys whose transaction was killed
@@ -60,7 +91,7 @@ type OLTP struct {
 }
 
 // NewOLTP builds a transaction driver over a loaded dataset. Seed varies
-// the key sequence per stream.
+// the key sequence per stream; concurrent workers use one driver each.
 func (ds *Dataset) NewOLTP(seed int64) *OLTP {
 	return &OLTP{
 		ds:         ds,
@@ -75,6 +106,17 @@ func (ds *Dataset) NewOLTP(seed int64) *OLTP {
 	}
 }
 
+// AllocOrderKey atomically claims the next unused order key. Safe for
+// concurrent workers.
+func (ds *Dataset) AllocOrderKey() int64 {
+	return atomic.AddInt64(&ds.NextOrderKey, 1) - 1
+}
+
+// OrderKeyHorizon atomically reads the first unused order key.
+func (ds *Dataset) OrderKeyHorizon() int64 {
+	return atomic.LoadInt64(&ds.NextOrderKey)
+}
+
 // Run executes n transactions on the session without transactional
 // wrapping (the seed behaviour: no WAL, no atomicity).
 func (o *OLTP) Run(sess *engine.Session, n int) error {
@@ -82,9 +124,11 @@ func (o *OLTP) Run(sess *engine.Session, n int) error {
 		var err error
 		switch r := o.rng.Intn(100); {
 		case r < 45:
-			_, err = o.newOrder(sess, nil)
+			key := o.ds.AllocOrderKey()
+			order, lines := genOrder(o.rng, o.rngL, key, o.ds.Customers, o.ds.Parts, o.ds.Suppliers)
+			err = o.newOrder(sess, nil, key, order, lines)
 		case r < 90:
-			err = o.payment(sess, nil)
+			err = o.payment(sess, nil, o.pickPayment())
 		default:
 			err = o.orderStatus(sess)
 		}
@@ -98,8 +142,9 @@ func (o *OLTP) Run(sess *engine.Session, n int) error {
 // RunTxn executes n transactions, each wrapped in Begin/Commit against
 // the transaction manager. NewOrder and Payment run as mutating
 // transactions whose page writes are logged; OrderStatus runs read-only.
-// When the manager's crash harness fires, RunTxn records the in-flight
-// NewOrder key (if any) in Lost and returns txn.ErrCrashed.
+// Deadlock losers are aborted and retried transparently. When the
+// manager's crash harness fires, RunTxn records the in-flight NewOrder
+// key (if any) in Lost and returns txn.ErrCrashed.
 func (o *OLTP) RunTxn(tm *txn.Manager, sess *engine.Session, n int) error {
 	for i := 0; i < n; i++ {
 		var err error
@@ -141,17 +186,38 @@ func (o *OLTP) RunNewOrdersTxn(tm *txn.Manager, sess *engine.Session, n int) err
 	return nil
 }
 
+// retryTxn runs one attempt function until it succeeds or fails with
+// anything but a deadlock. Deadlock attempts were aborted by the
+// attempt; the retry simply re-runs it against the post-abort state.
+func (o *OLTP) retryTxn(attempt func() error) error {
+	for try := 0; ; try++ {
+		err := attempt()
+		if err == nil || !errors.Is(err, txn.ErrDeadlock) || try >= maxDeadlockRetries {
+			return err
+		}
+		o.Retries++
+		// Let the conflicting transactions drain before retrying.
+		runtime.Gosched()
+	}
+}
+
+// runNewOrderTxn generates one order and commits it transactionally,
+// retrying deadlock losses with the same generated rows and key.
 func (o *OLTP) runNewOrderTxn(tm *txn.Manager, sess *engine.Session) error {
-	tx, err := tm.Begin(sess)
+	key := o.ds.AllocOrderKey()
+	order, lines := genOrder(o.rng, o.rngL, key, o.ds.Customers, o.ds.Parts, o.ds.Suppliers)
+	err := o.retryTxn(func() error {
+		tx, err := tm.Begin(sess)
+		if err != nil {
+			return err
+		}
+		if err := o.newOrder(sess, tx, key, order, lines); err != nil {
+			_ = tx.Abort()
+			return err
+		}
+		return tx.Commit()
+	})
 	if err != nil {
-		return err
-	}
-	key, err := o.newOrder(sess, tx)
-	if err != nil {
-		_ = tx.Abort()
-		return err
-	}
-	if err := tx.Commit(); err != nil {
 		if errors.Is(err, txn.ErrCrashed) {
 			o.Lost = append(o.Lost, key)
 		}
@@ -161,75 +227,115 @@ func (o *OLTP) runNewOrderTxn(tm *txn.Manager, sess *engine.Session) error {
 	return nil
 }
 
+// runPaymentTxn picks the payment's keys once and commits it
+// transactionally, retrying deadlock losses with the same picks.
 func (o *OLTP) runPaymentTxn(tm *txn.Manager, sess *engine.Session) error {
-	tx, err := tm.Begin(sess)
-	if err != nil {
-		return err
-	}
-	if err := o.payment(sess, tx); err != nil {
-		_ = tx.Abort()
-		return err
-	}
-	return tx.Commit()
+	p := o.pickPayment()
+	return o.retryTxn(func() error {
+		tx, err := tm.Begin(sess)
+		if err != nil {
+			return err
+		}
+		if err := o.payment(sess, tx, p); err != nil {
+			_ = tx.Abort()
+			return err
+		}
+		return tx.Commit()
+	})
 }
 
-// newOrder appends one order + lineitems and maintains the indexes. Heap
-// rows are appended (and their pages made visible) before any index entry
-// referencing them is inserted, so a concurrent probe never dereferences
-// a page that does not exist yet. It returns the new order key.
-func (o *OLTP) newOrder(sess *engine.Session, tx *txn.Txn) (int64, error) {
+// newOrder appends the generated order + lineitems and maintains the
+// indexes. Heap rows are appended (and their pages made visible) before
+// any index entry referencing them is inserted, so a concurrent probe
+// never dereferences a page that does not exist yet.
+func (o *OLTP) newOrder(sess *engine.Session, tx *txn.Txn, key int64, order catalog.Tuple, lines []catalog.Tuple) error {
 	inst := sess.Instance()
-	key := o.ds.NextOrderKey
-	o.ds.NextOrderKey++
-	order, lines := genOrder(o.rng, o.rngL, key, o.ds.Customers, o.ds.Parts, o.ds.Suppliers)
 
 	if tx != nil {
 		tx.Op(wal.KindHeapInsert)
+		// Appenders claim their start page from the file's logical size,
+		// so concurrent appenders must serialize on the append lock.
+		if err := tx.LockAppend(o.ordersInfo.ID); err != nil {
+			return err
+		}
+		if err := tx.LockAppend(o.lineInfo.ID); err != nil {
+			return err
+		}
 	}
 	ordersApp := o.ordersFile.NewAppender(&sess.Clk, inst.Pool, o.ds.DB.Store.Pages(o.ordersInfo.ID))
 	rid, err := ordersApp.Append(order)
 	if err != nil {
-		return key, err
+		return err
 	}
 	if err := ordersApp.Close(); err != nil {
-		return key, err
+		return err
 	}
 	lineApp := o.lineFile.NewAppender(&sess.Clk, inst.Pool, o.ds.DB.Store.Pages(o.lineInfo.ID))
 	lrids := make([]catalog.RID, len(lines))
 	for i, l := range lines {
 		if lrids[i], err = lineApp.Append(l); err != nil {
-			return key, err
+			return err
 		}
 	}
 	if err := lineApp.Close(); err != nil {
-		return key, err
+		return err
 	}
 
 	if tx != nil {
 		tx.Op(wal.KindIndexInsert)
 	}
+	chargeCPU(sess, 1+len(lines)) // heap rows appended
 	ixOrders := btree.Open(o.ds.DB.Cat.MustIndex("idx_orders_orderkey").ID, inst.Pool)
 	if err := ixOrders.Insert(&sess.Clk, btree.Entry{Key: key, RID: rid}, 0); err != nil {
-		return key, err
+		return err
 	}
 	ixLineOK := btree.Open(o.ds.DB.Cat.MustIndex("idx_lineitem_orderkey").ID, inst.Pool)
 	ixLinePK := btree.Open(o.ds.DB.Cat.MustIndex("idx_lineitem_partkey").ID, inst.Pool)
 	for i, l := range lines {
 		if err := ixLineOK.Insert(&sess.Clk, btree.Entry{Key: key, RID: lrids[i]}, 0); err != nil {
-			return key, err
+			return err
 		}
 		if err := ixLinePK.Insert(&sess.Clk, btree.Entry{Key: l[1].I, RID: lrids[i]}, 0); err != nil {
-			return key, err
+			return err
 		}
 	}
+	chargeCPU(sess, 1+2*len(lines)) // index entries maintained
 	o.NewOrders++
-	return key, nil
+	return nil
+}
+
+// recentOrderSpan is the window of latest order keys OrderStatus and
+// Payment draw from: as in TPC-C, status queries read a customer's most
+// recent order and payments settle freshly placed ones, so the mix's
+// read working set is recency-skewed rather than uniform over history.
+const recentOrderSpan = 256
+
+// pickOrderKey draws an existing order key: overwhelmingly one of the
+// most recent orders — as in TPC-C, where order-status reads a
+// customer's latest order — with a 2% uniform draw over the originally
+// loaded orders, which keeps a stationary cold-read tail in the mix (a
+// fixed historical window, so the tail's cost does not grow as
+// experiment runs append history).
+func (o *OLTP) pickOrderKey() int64 {
+	h := o.ds.OrderKeyHorizon()
+	if o.rng.Intn(100) < 98 {
+		span := int64(recentOrderSpan)
+		if span > h-1 {
+			span = h - 1
+		}
+		return h - span + o.rng.Int63n(span)
+	}
+	hist := o.ds.Orders
+	if hist > h-1 {
+		hist = h - 1
+	}
+	return 1 + o.rng.Int63n(hist)
 }
 
 // orderStatus reads one order and its lineitems through the indexes.
 func (o *OLTP) orderStatus(sess *engine.Session) error {
 	inst := sess.Instance()
-	key := 1 + o.rng.Int63n(o.ds.NextOrderKey-1)
+	key := o.pickOrderKey()
 	ixOrders := btree.Open(o.ds.DB.Cat.MustIndex("idx_orders_orderkey").ID, inst.Pool)
 	rids, err := ixOrders.Lookup(&sess.Clk, key, 0)
 	if err != nil {
@@ -250,16 +356,33 @@ func (o *OLTP) orderStatus(sess *engine.Session) error {
 			return err
 		}
 	}
+	chargeCPU(sess, 3+len(lrids)) // rows read + index probes
 	o.OrderStatuses++
 	return nil
 }
 
+// paymentPick is the pre-drawn randomness of one Payment transaction, so
+// a deadlock retry re-runs the identical logical transaction.
+type paymentPick struct {
+	custKey  int64
+	orderKey int64
+	amount   float64
+}
+
+// pickPayment draws the keys and amount for one Payment.
+func (o *OLTP) pickPayment() paymentPick {
+	return paymentPick{
+		custKey:  1 + o.rng.Int63n(o.ds.Customers),
+		orderKey: o.pickOrderKey(),
+		amount:   1 + o.rng.Float64()*100,
+	}
+}
+
 // payment reads a customer and an order, then rewrites the order row.
-func (o *OLTP) payment(sess *engine.Session, tx *txn.Txn) error {
+func (o *OLTP) payment(sess *engine.Session, tx *txn.Txn, p paymentPick) error {
 	inst := sess.Instance()
-	custKey := 1 + o.rng.Int63n(o.ds.Customers)
 	ixCust := btree.Open(o.ds.DB.Cat.MustIndex("idx_customer_custkey").ID, inst.Pool)
-	crids, err := ixCust.Lookup(&sess.Clk, custKey, 0)
+	crids, err := ixCust.Lookup(&sess.Clk, p.custKey, 0)
 	if err != nil {
 		return err
 	}
@@ -269,9 +392,8 @@ func (o *OLTP) payment(sess *engine.Session, tx *txn.Txn) error {
 		}
 	}
 
-	key := 1 + o.rng.Int63n(o.ds.NextOrderKey-1)
 	ixOrders := btree.Open(o.ds.DB.Cat.MustIndex("idx_orders_orderkey").ID, inst.Pool)
-	rids, err := ixOrders.Lookup(&sess.Clk, key, 0)
+	rids, err := ixOrders.Lookup(&sess.Clk, p.orderKey, 0)
 	if err != nil {
 		return err
 	}
@@ -288,11 +410,12 @@ func (o *OLTP) payment(sess *engine.Session, tx *txn.Txn) error {
 			continue
 		}
 		updated := row.Clone()
-		updated[totalCol].F += 1 + o.rng.Float64()*100
+		updated[totalCol].F += p.amount
 		if err := o.ordersFile.Update(&sess.Clk, inst.Pool, rid, updated, 0); err != nil {
 			return err
 		}
 	}
+	chargeCPU(sess, 3+len(rids)) // customer + order read, order rewritten
 	o.Payments++
 	return nil
 }
@@ -321,7 +444,7 @@ func (ds *Dataset) RecomputeNextOrderKey(sess *engine.Session) error {
 		}
 	}
 	if max > 0 {
-		ds.NextOrderKey = max + 1
+		atomic.StoreInt64(&ds.NextOrderKey, max+1)
 	}
 	return nil
 }

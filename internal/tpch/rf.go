@@ -23,8 +23,8 @@ func (ds *Dataset) RF1(sess *engine.Session) (int, error) {
 		n = 10
 	}
 	inst := sess.Instance()
-	rngO := rand.New(rand.NewSource(9000 + ds.NextOrderKey))
-	rngL := rand.New(rand.NewSource(9500 + ds.NextOrderKey))
+	rngO := rand.New(rand.NewSource(9000 + ds.OrderKeyHorizon()))
+	rngL := rand.New(rand.NewSource(9500 + ds.OrderKeyHorizon()))
 
 	ordersInfo := ds.DB.Cat.MustTable("orders")
 	lineInfo := ds.DB.Cat.MustTable("lineitem")
@@ -48,8 +48,7 @@ func (ds *Dataset) RF1(sess *engine.Session) (int, error) {
 	}
 	var orderEntries, lineOKEntries, linePKEntries []ixEntry
 	for i := 0; i < n; i++ {
-		key := ds.NextOrderKey
-		ds.NextOrderKey++
+		key := ds.AllocOrderKey()
 		order, lines := genOrder(rngO, rngL, key, ds.Customers, ds.Parts, ds.Suppliers)
 		rid, err := ordersApp.Append(order)
 		if err != nil {
