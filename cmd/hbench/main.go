@@ -25,12 +25,13 @@ import (
 	"strconv"
 	"strings"
 
+	"hstoragedb/internal/dss"
 	"hstoragedb/internal/experiments"
 )
 
 func main() {
 	log.SetFlags(0)
-	exp := flag.String("exp", "all", "comma-separated experiment ids (fig4 fig5 table4 fig6 table5 table6 fig9 table7 fig11 table9 fig12 oltp iosched txnscale all)")
+	exp := flag.String("exp", "all", "comma-separated experiment ids (fig4 fig5 table4 fig6 table5 table6 fig9 table7 fig11 table9 fig12 oltp iosched txnscale tenants all)")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
 	cache := flag.Float64("cache", 0.7, "SSD cache size as a fraction of total data pages")
 	bp := flag.Float64("bp", 0.04, "buffer pool size as a fraction of total data pages")
@@ -39,6 +40,8 @@ func main() {
 	streams := flag.Int("streams", 3, "query streams in the throughput and iosched tests")
 	txns := flag.Int("txns", 150, "transactions per configuration in the OLTP/iosched experiments; total transactions per sweep point in txnscale (split across workers)")
 	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts for the txnscale experiment")
+	tenantsFlag := flag.String("tenants", "4,2,1,1", "comma-separated tenant weights for the tenants experiment (tenant IDs 1..n)")
+	scanBlocks := flag.Int("scanblocks", 3000, "per-tenant scan-stream demand in blocks for the tenants experiment")
 	jsonPath := flag.String("json", "", "write per-experiment metrics to this file as JSON")
 	flag.Parse()
 
@@ -53,6 +56,10 @@ func main() {
 	workers, err := parseWorkers(*workersFlag)
 	if err != nil {
 		log.Fatalf("-workers: %v", err)
+	}
+	tenantSpecs, err := parseTenants(*tenantsFlag)
+	if err != nil {
+		log.Fatalf("-tenants: %v", err)
 	}
 
 	want := map[string]bool{}
@@ -189,6 +196,20 @@ func main() {
 		fmt.Print(experiments.FormatTxnScale(runs))
 		return runs, nil
 	})
+	run("tenants", func() (any, error) {
+		// -txns is the total across tenants, at least one each: a tiny
+		// -txns must bound the run, not fall through to the default.
+		perTenant := *txns / len(tenantSpecs)
+		if perTenant < 1 {
+			perTenant = 1
+		}
+		runs, err := env.TenantsAll(tenantSpecs, *scanBlocks, perTenant)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Print(experiments.FormatTenants(runs))
+		return runs, nil
+	})
 	if has("table9") || has("fig12") {
 		ran = true
 		tEnv, err := experiments.NewEnv(cfg.ThroughputConfig())
@@ -229,6 +250,27 @@ func main() {
 		}
 		fmt.Printf("metrics written to %s\n", *jsonPath)
 	}
+}
+
+// parseTenants parses the -tenants flag: a comma-separated list of
+// positive tenant weights, assigned to tenant IDs 1..n in order.
+func parseTenants(s string) ([]experiments.TenantSpec, error) {
+	var out []experiments.TenantSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		w, err := strconv.ParseFloat(part, 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("bad tenant weight %q", part)
+		}
+		out = append(out, experiments.TenantSpec{ID: dss.TenantID(len(out) + 1), Weight: w})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no tenant weights")
+	}
+	return out, nil
 }
 
 // parseWorkers parses the -workers flag: a comma-separated list of

@@ -233,6 +233,13 @@ type Stats struct {
 	// requests are recorded: background flushes and destages nobody
 	// waits on are excluded so they cannot pollute tail percentiles.
 	PerClass map[int]LatencyHist
+
+	// PerTenant holds the same end-to-end foreground latency histograms
+	// keyed by tenant (the integer value of a dss.TenantID). The I/O
+	// scheduler records a tenant sample only for attributed traffic —
+	// a non-zero tenant ID, or any tenant while fair sharing is on —
+	// so single-tenant runs pay nothing for the map.
+	PerTenant map[int]LatencyHist
 }
 
 // Device is a simulated block device. All methods are safe for concurrent
@@ -249,10 +256,11 @@ type Device struct {
 	res  []*simclock.Resource
 	bw   *simclock.Resource // shared transfer stage (Channels > 1)
 
-	mu      sync.Mutex
-	nextLBA int64 // LBA immediately after the last access; -1 initially
-	stats   Stats
-	hists   map[int]*LatencyHist
+	mu          sync.Mutex
+	nextLBA     int64 // LBA immediately after the last access; -1 initially
+	stats       Stats
+	hists       map[int]*LatencyHist
+	tenantHists map[int]*LatencyHist
 }
 
 // New creates a device from a spec.
@@ -444,8 +452,26 @@ func (d *Device) ObserveLatency(class int, lat time.Duration) {
 	d.mu.Unlock()
 }
 
+// ObserveTenantLatency records one end-to-end request latency for a
+// tenant in the device's per-tenant histogram set. Tenant keys are
+// dss.TenantID values; the scheduler owns the mapping and the decision
+// of which requests are attributed.
+func (d *Device) ObserveTenantLatency(tenant int, lat time.Duration) {
+	d.mu.Lock()
+	h := d.tenantHists[tenant]
+	if h == nil {
+		if d.tenantHists == nil {
+			d.tenantHists = make(map[int]*LatencyHist)
+		}
+		h = &LatencyHist{}
+		d.tenantHists[tenant] = h
+	}
+	h.Observe(lat)
+	d.mu.Unlock()
+}
+
 // Stats returns a snapshot of the device counters, including per-class
-// latency histograms.
+// and per-tenant latency histograms.
 func (d *Device) Stats() Stats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -454,6 +480,12 @@ func (d *Device) Stats() Stats {
 		s.PerClass = make(map[int]LatencyHist, len(d.hists))
 		for c, h := range d.hists {
 			s.PerClass[c] = *h
+		}
+	}
+	if len(d.tenantHists) > 0 {
+		s.PerTenant = make(map[int]LatencyHist, len(d.tenantHists))
+		for t, h := range d.tenantHists {
+			s.PerTenant[t] = *h
 		}
 	}
 	return s
@@ -465,6 +497,7 @@ func (d *Device) Reset() {
 	d.mu.Lock()
 	d.stats = Stats{}
 	d.hists = nil
+	d.tenantHists = nil
 	d.nextLBA = -1
 	d.mu.Unlock()
 	for _, r := range d.res {

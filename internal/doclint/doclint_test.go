@@ -19,6 +19,7 @@ import (
 // auditedPackages lists the source directories (relative to the repo
 // root) whose exported surface must be fully documented.
 var auditedPackages = []string{
+	"internal/device",
 	"internal/dss",
 	"internal/hybrid",
 	"internal/iosched",

@@ -119,6 +119,21 @@ func (p PolicySpace) NonCaching(c Class) bool {
 	return c != ClassWriteBuffer && c != ClassLog && c != ClassNone && int(c) >= p.T
 }
 
+// TenantID identifies the database tenant (user, service, or billing
+// entity) on whose behalf a request is issued. Like the class, it is
+// semantic information a conventional block interface strips: carrying
+// it down the stack lets the storage system apportion device time and
+// cache capacity across tenants (weighted fair shares) instead of
+// collapsing every tenant of a class into one FIFO. The zero value is
+// DefaultTenant.
+type TenantID int
+
+// DefaultTenant is the tenant of unattributed traffic: requests from
+// sessions that never bound a tenant, and shared infrastructure work
+// (WAL segments, checkpoints) that no single tenant should be billed
+// for.
+const DefaultTenant TenantID = 0
+
 // Kind distinguishes data requests from TRIM commands.
 type Kind int
 
@@ -153,6 +168,13 @@ type Request struct {
 	// write-back, asynchronous flushes): the device scheduler serves it
 	// below every foreground class.
 	Background bool
+
+	// Tenant attributes the request to a tenant for weighted fair
+	// sharing. The device scheduler orders same-class requests of
+	// different tenants by virtual finish time (see iosched), and the
+	// priority cache charges the block against the tenant's capacity
+	// share. Zero (DefaultTenant) marks unattributed traffic.
+	Tenant TenantID
 }
 
 // String implements fmt.Stringer.

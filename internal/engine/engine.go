@@ -118,6 +118,15 @@ func (inst *Instance) NewSession() *Session {
 	return &Session{inst: inst}
 }
 
+// BindTenant attributes every storage request this session issues —
+// page reads, write-backs, WAL appends through its clock, TRIMs — to
+// tenant t, enabling the storage layer's weighted fair sharing and
+// per-tenant accounting. Sessions are single-tenant; call it once,
+// right after NewSession.
+func (s *Session) BindTenant(t dss.TenantID) {
+	s.inst.Mgr.BindTenant(&s.Clk, t)
+}
+
 // Instance returns the engine instance this session runs on.
 func (s *Session) Instance() *Instance { return s.inst }
 

@@ -41,8 +41,9 @@ type Manager struct {
 	// ablation benchmark.
 	DisableTrim bool
 
-	mu    sync.Mutex
-	types map[policy.RequestType]*TypeStats
+	mu      sync.Mutex
+	types   map[policy.RequestType]*TypeStats
+	tenants map[*simclock.Clock]dss.TenantID
 }
 
 // New builds a manager over a page store and a storage system.
@@ -66,6 +67,35 @@ func (m *Manager) Table() *policy.AssignmentTable { return m.table }
 
 // Registry exposes the Rule 5 concurrency registry.
 func (m *Manager) Registry() *policy.Registry { return m.table.Registry }
+
+// BindTenant attributes all traffic of the session identified by clk to
+// tenant t, the same way the buffer pool binds transactions: the session
+// clock is the stream identity every request already carries. Requests
+// from unbound sessions carry dss.DefaultTenant. Bindings are released
+// with UnbindTenant when the session ends.
+func (m *Manager) BindTenant(clk *simclock.Clock, t dss.TenantID) {
+	m.mu.Lock()
+	if m.tenants == nil {
+		m.tenants = make(map[*simclock.Clock]dss.TenantID)
+	}
+	m.tenants[clk] = t
+	m.mu.Unlock()
+}
+
+// UnbindTenant removes clk's tenant binding.
+func (m *Manager) UnbindTenant(clk *simclock.Clock) {
+	m.mu.Lock()
+	delete(m.tenants, clk)
+	m.mu.Unlock()
+}
+
+// tenantOf resolves the tenant bound to a session clock.
+func (m *Manager) tenantOf(clk *simclock.Clock) dss.TenantID {
+	m.mu.Lock()
+	t := m.tenants[clk]
+	m.mu.Unlock()
+	return t
+}
 
 func (m *Manager) count(t policy.RequestType, blocks int) {
 	m.mu.Lock()
@@ -96,6 +126,7 @@ func (m *Manager) ReadPage(clk *simclock.Clock, tag policy.Tag, page int64) ([]b
 		Blocks: 1,
 		Class:  class,
 		Stream: clk,
+		Tenant: m.tenantOf(clk),
 	})
 	clk.AdvanceTo(done)
 	m.count(readTag.Type(), 1)
@@ -140,6 +171,7 @@ func (m *Manager) writePage(clk *simclock.Clock, tag policy.Tag, page int64, dat
 		Class:      class,
 		Stream:     clk,
 		Background: background,
+		Tenant:     m.tenantOf(clk),
 	})
 	if !background {
 		clk.AdvanceTo(done)
@@ -170,6 +202,7 @@ func (m *Manager) DeleteObject(clk *simclock.Clock, id pagestore.ObjectID) error
 			LBA:    e.Start,
 			Blocks: int(e.Pages),
 			Class:  m.table.TrimClass(),
+			Tenant: m.tenantOf(clk),
 		})
 		clk.AdvanceTo(done)
 	}

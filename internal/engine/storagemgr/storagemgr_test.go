@@ -149,3 +149,26 @@ func TestFormatTypeStats(t *testing.T) {
 		t.Fatalf("format: %q", out)
 	}
 }
+
+func TestTenantBindingAttributesRequests(t *testing.T) {
+	mgr, _, sys := newMgr(t)
+	var clk simclock.Clock
+	tag := policy.Tag{Object: 1, Content: policy.Table, Pattern: policy.Sequential}
+
+	mgr.BindTenant(&clk, 5)
+	if _, err := mgr.ReadPage(&clk, tag, 0); err != nil {
+		t.Fatal(err)
+	}
+	mgr.UnbindTenant(&clk)
+	if _, err := mgr.ReadPage(&clk, tag, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	var bound int64
+	for _, s := range sys.Sched().Schedulers() {
+		bound += s.TenantStats()[5].Submitted
+	}
+	if bound != 1 {
+		t.Fatalf("tenant 5 attributed %d submissions, want exactly the bound-session read", bound)
+	}
+}

@@ -14,13 +14,14 @@ import (
 	"hstoragedb/internal/engine/wal"
 	"hstoragedb/internal/hybrid"
 	"hstoragedb/internal/iosched"
+	"hstoragedb/internal/tpch"
 )
 
 // ioschedQueries is the per-stream query list of the scheduler
-// contention experiment: scan-dominated work (Q1, Q6, Q14) that keeps
-// the HDD saturated with low-priority sequential traffic while the OLTP
-// stream's pinned log writes fight for the devices.
-var ioschedQueries = []int{1, 6, 14}
+// contention experiment: scan-dominated work (tpch.ScanHeavyQueries)
+// that keeps the HDD saturated with low-priority sequential traffic
+// while the OLTP stream's pinned log writes fight for the devices.
+var ioschedQueries = tpch.ScanHeavyQueries()
 
 // IOSchedRun is the outcome of the scheduler contention experiment
 // under one storage configuration and scheduler setting: concurrent

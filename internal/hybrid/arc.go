@@ -127,7 +127,7 @@ func (c *arcCache) replace(at time.Duration, inB2 bool) {
 // write-back goes out unclassified. Caller holds c.mu.
 func (c *arcCache) demote(at time.Duration, e *arcEntry, ghost arcList) {
 	if e.meta.dirty {
-		c.hddS.SubmitBackground(at, device.Write, e.meta.lbn, 1, dss.ClassNone)
+		c.hddS.SubmitBackground(at, device.Write, e.meta.lbn, 1, dss.ClassNone, e.meta.tenant)
 		c.base.snap.DirtyEvict++
 		e.meta.dirty = false
 	}
@@ -231,7 +231,7 @@ func (c *arcCache) access(at time.Duration, req dss.Request, lbn int64) (time.Du
 			c.replace(at, false)
 		}
 	}
-	ne := &arcEntry{meta: blockMeta{lbn: lbn, pbn: c.allocPBN(), dirty: op == device.Write}, list: listT1}
+	ne := &arcEntry{meta: blockMeta{lbn: lbn, pbn: c.allocPBN(), dirty: op == device.Write, tenant: req.Tenant}, list: listT1}
 	c.table[lbn] = ne
 	c.t1.pushFront(&ne.meta)
 	return c.finishMiss(at, req, &ne.meta)
@@ -252,7 +252,7 @@ func (c *arcCache) finishMiss(at time.Duration, req dss.Request, m *blockMeta) (
 	c.mu.Unlock()
 	hddDone := submitDev(c.hddS, at, req, device.Read, lbn, 1)
 	if c.asyncAlloc {
-		c.ssdS.SubmitBackground(hddDone, device.Write, pbn, 1, req.Class)
+		c.ssdS.SubmitBackground(hddDone, device.Write, pbn, 1, req.Class, req.Tenant)
 		return hddDone, false
 	}
 	return submitDev(c.ssdS, hddDone, req, device.Write, pbn, 1), false

@@ -89,6 +89,10 @@ type Config struct {
 	// Sched parameterizes the per-device QoS I/O scheduler every
 	// configuration routes its accesses through. The zero value enables
 	// it with defaults; set Sched.Disable for the single-FIFO ablation.
+	// Sched.TenantWeights additionally turns on tenant-weighted fair
+	// sharing: device time within each class band (iosched) and, under
+	// HStorage mode, cache capacity (the priority cache prefers
+	// evicting blocks of tenants holding more than their weight share).
 	Sched iosched.Config
 
 	// CachePrefetched lets the priority cache admit scheduler readahead
@@ -149,6 +153,11 @@ type Snapshot struct {
 	// Prefetched counts scheduler readahead blocks admitted into spare
 	// cache capacity (never by evicting resident blocks).
 	Prefetched int64
+	// ShareEvictions counts evictions the tenant capacity shares
+	// redirected away from the plain LRU victim to a block of a tenant
+	// exceeding its weight share (HStorage mode with tenant weights
+	// configured).
+	ShareEvictions int64
 }
 
 // HitRatio returns total hits over total accessed blocks.
@@ -248,16 +257,16 @@ func attachCacheScheds(cfg Config, ssd, hdd *device.Device) (*iosched.Group, *io
 }
 
 // submitDev routes one device access through a scheduler on behalf of a
-// classified request, honouring its stream identity and background
-// flag: background work is queued without blocking (the caller's clock
-// must not advance for it), foreground work returns its completion.
-// Shared by every System implementation.
+// classified request, honouring its stream identity, tenant attribution
+// and background flag: background work is queued without blocking (the
+// caller's clock must not advance for it), foreground work returns its
+// completion. Shared by every System implementation.
 func submitDev(s *iosched.Scheduler, at time.Duration, req dss.Request, op device.Op, lba int64, blocks int) time.Duration {
 	if req.Background {
-		s.SubmitBackground(at, op, lba, blocks, req.Class)
+		s.SubmitBackground(at, op, lba, blocks, req.Class, req.Tenant)
 		return at
 	}
-	return s.Submit(at, op, lba, blocks, req.Class, req.Stream)
+	return s.Submit(at, op, lba, blocks, req.Class, req.Tenant, req.Stream)
 }
 
 // statsBase carries the counters shared by all System implementations.

@@ -1,13 +1,16 @@
 package hybrid
 
+import "hstoragedb/internal/dss"
+
 // blockMeta is the cache's per-block metadata: one entry in the lookup
 // hash table (Section 5.2, <lbn, <pbn, prio>>) that is simultaneously a
 // node of its priority group's intrusive LRU list.
 type blockMeta struct {
-	lbn   int64
-	pbn   int64
-	class int // group id: 1..N, or wbGroup for the write buffer
-	dirty bool
+	lbn    int64
+	pbn    int64
+	class  int // group id: 1..N, or wbGroup for the write buffer
+	dirty  bool
+	tenant dss.TenantID // last tenant charged for the block's capacity
 
 	prev, next *blockMeta
 }

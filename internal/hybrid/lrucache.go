@@ -97,7 +97,7 @@ func (c *lruCache) access(at time.Duration, req dss.Request, lbn int64) (time.Du
 		if victim.dirty {
 			// A class-blind cache does not know what it is destaging:
 			// the write-back goes out unclassified.
-			c.hddS.SubmitBackground(at, device.Write, victim.lbn, 1, dss.ClassNone)
+			c.hddS.SubmitBackground(at, device.Write, victim.lbn, 1, dss.ClassNone, victim.tenant)
 			c.base.snap.DirtyEvict++
 		}
 		c.base.snap.Evictions++
@@ -114,7 +114,7 @@ func (c *lruCache) access(at time.Duration, req dss.Request, lbn int64) (time.Du
 		pbn = c.nextPBN
 		c.nextPBN++
 	}
-	meta = &blockMeta{lbn: lbn, pbn: pbn, dirty: op == device.Write}
+	meta = &blockMeta{lbn: lbn, pbn: pbn, dirty: op == device.Write, tenant: req.Tenant}
 	c.table[lbn] = meta
 	c.stack.pushFront(meta)
 	c.cached++
@@ -130,7 +130,7 @@ func (c *lruCache) access(at time.Duration, req dss.Request, lbn int64) (time.Du
 	}
 	hddDone := submitDev(c.hddS, at, req, device.Read, lbn, 1)
 	if c.asyncAlloc {
-		c.ssdS.SubmitBackground(hddDone, device.Write, pbn, 1, req.Class)
+		c.ssdS.SubmitBackground(hddDone, device.Write, pbn, 1, req.Class, req.Tenant)
 		return hddDone, false
 	}
 	return submitDev(c.ssdS, hddDone, req, device.Write, pbn, 1), false

@@ -52,6 +52,18 @@ type priorityCache struct {
 	wbLimit  int     // b * capacity
 	freePBN  []int64 // recycled SSD slots
 	nextPBN  int64
+
+	// cachedBy counts cached blocks per tenant (each block charged to
+	// the last tenant that touched it). With tenant weights configured
+	// (Config.Sched.TenantWeights), eviction prefers victims of tenants
+	// holding more than their weight share of capacity, so a heavy
+	// tenant recycles its own blocks instead of everyone else's.
+	// tenantW/tenantWSum snapshot the construction-time weights so the
+	// eviction path never takes the scheduler group's mutex; capacity
+	// shares follow the Config, not later SetTenantWeight calls.
+	cachedBy   map[dss.TenantID]int
+	tenantW    map[dss.TenantID]float64
+	tenantWSum float64
 }
 
 func newPriorityCache(cfg Config) *priorityCache {
@@ -66,8 +78,18 @@ func newPriorityCache(cfg Config) *priorityCache {
 		cachePF:    cfg.CachePrefetched,
 		table:      make(map[int64]*blockMeta),
 		groups:     make(map[int]*lruList),
+		cachedBy:   make(map[dss.TenantID]int),
 	}
 	c.grp, c.ssdS, c.hddS = attachCacheScheds(cfg, c.ssd, c.hdd)
+	for id, w := range cfg.Sched.TenantWeights {
+		if w > 0 {
+			if c.tenantW == nil {
+				c.tenantW = make(map[dss.TenantID]float64, len(cfg.Sched.TenantWeights))
+			}
+			c.tenantW[id] = w
+			c.tenantWSum += w
+		}
+	}
 	if c.cachePF {
 		c.hddS.EnablePrefetchFeed()
 	}
@@ -178,9 +200,9 @@ func (c *priorityCache) admitPrefetched() {
 			if c.cached >= c.capacity || c.table[lbn] != nil {
 				continue
 			}
-			meta := c.insert(lbn, evict, false)
+			meta := c.insert(lbn, evict, false, p.Tenant)
 			c.base.snap.Prefetched++
-			c.ssdS.SubmitBackground(p.Ready, device.Write, meta.pbn, 1, c.pol.Eviction())
+			c.ssdS.SubmitBackground(p.Ready, device.Write, meta.pbn, 1, c.pol.Eviction(), p.Tenant)
 		}
 	}
 	c.mu.Unlock()
@@ -195,6 +217,7 @@ func (c *priorityCache) readBlock(at time.Duration, req dss.Request, lbn int64) 
 	if meta != nil {
 		// Action 1: cache hit (possibly followed by re-allocation).
 		pbn := meta.pbn
+		c.retagTenant(meta, req.Tenant)
 		c.reallocate(meta, class)
 		c.mu.Unlock()
 		return submitDev(c.ssdS, at, req, device.Read, pbn, 1), true
@@ -221,7 +244,7 @@ func (c *priorityCache) readBlock(at time.Duration, req dss.Request, lbn int64) 
 		c.mu.Unlock()
 		return submitDev(c.hddS, at, req, device.Read, lbn, 1), false
 	}
-	meta = c.insert(lbn, k, false)
+	meta = c.insert(lbn, k, false, req.Tenant)
 	c.base.snap.ReadAllocs++
 	pbn := meta.pbn
 	c.mu.Unlock()
@@ -230,7 +253,7 @@ func (c *priorityCache) readBlock(at time.Duration, req dss.Request, lbn int64) 
 	if c.asyncAlloc {
 		// Asynchronous read allocation: the block is served from the HDD
 		// into the OS and copied into cache off the critical path.
-		c.ssdS.SubmitBackground(hddDone, device.Write, pbn, 1, class)
+		c.ssdS.SubmitBackground(hddDone, device.Write, pbn, 1, class, req.Tenant)
 		return hddDone, false
 	}
 	// Synchronous read allocation: data is placed into cache before the
@@ -252,6 +275,7 @@ func (c *priorityCache) writeBlock(at time.Duration, req dss.Request, lbn int64)
 	meta := c.table[lbn]
 	if meta != nil {
 		// Write hit: update the cached copy in place.
+		c.retagTenant(meta, req.Tenant)
 		if meta.class == wbGroup {
 			// Leaving it in the write buffer keeps the occupancy
 			// accounting intact.
@@ -279,7 +303,7 @@ func (c *priorityCache) writeBlock(at time.Duration, req dss.Request, lbn int64)
 		c.mu.Unlock()
 		return submitDev(c.hddS, at, req, device.Write, lbn, 1), false
 	}
-	meta = c.insert(lbn, k, true)
+	meta = c.insert(lbn, k, true, req.Tenant)
 	c.base.snap.WriteAllocs++
 	pbn := meta.pbn
 	c.mu.Unlock()
@@ -320,10 +344,11 @@ func (c *priorityCache) writeBuffered(at time.Duration, req dss.Request, lbn int
 				return submitDev(c.hddS, at, req, device.Write, lbn, 1), false
 			}
 		}
-		meta = c.insert(lbn, wbGroup, true)
+		meta = c.insert(lbn, wbGroup, true, req.Tenant)
 		c.wbBlocks++
 		c.base.snap.WriteAllocs++
 	} else {
+		c.retagTenant(meta, req.Tenant)
 		if meta.class != wbGroup {
 			c.moveGroup(meta, wbGroup)
 			c.wbBlocks++
@@ -360,9 +385,10 @@ func (c *priorityCache) writeLog(at time.Duration, req dss.Request, lbn int64) (
 			c.mu.Unlock()
 			return submitDev(c.hddS, at, req, device.Write, lbn, 1), false
 		}
-		meta = c.insert(lbn, logGroup, false)
+		meta = c.insert(lbn, logGroup, false, req.Tenant)
 		c.base.snap.WriteAllocs++
 	} else {
+		c.retagTenant(meta, req.Tenant)
 		if meta.class != logGroup {
 			if meta.class == wbGroup {
 				c.wbBlocks--
@@ -376,7 +402,7 @@ func (c *priorityCache) writeLog(at time.Duration, req dss.Request, lbn int64) (
 	}
 	pbn := meta.pbn
 	c.mu.Unlock()
-	c.hddS.SubmitBackground(at, device.Write, lbn, 1, req.Class)
+	c.hddS.SubmitBackground(at, device.Write, lbn, 1, req.Class, req.Tenant)
 	return submitDev(c.ssdS, at, req, device.Write, pbn, 1), hit
 }
 
@@ -388,11 +414,15 @@ func (c *priorityCache) writeLog(at time.Duration, req dss.Request, lbn int64) (
 func (c *priorityCache) flushWriteBuffer(at time.Duration) {
 	g := c.groups[wbGroup]
 	demoteTo := c.pol.RandHigh
-	var dirty []int64
+	type destage struct {
+		lbn    int64
+		tenant dss.TenantID
+	}
+	var dirty []destage
 	for g.len() > 0 {
 		meta := g.back()
 		if meta.dirty {
-			dirty = append(dirty, meta.lbn)
+			dirty = append(dirty, destage{meta.lbn, meta.tenant})
 			meta.dirty = false
 		}
 		c.moveGroup(meta, demoteTo)
@@ -400,9 +430,9 @@ func (c *priorityCache) flushWriteBuffer(at time.Duration) {
 	// Destage in LBA order: an elevator pass turns the buffer's random
 	// update footprint into near-sequential HDD runs the scheduler can
 	// coalesce, instead of one positioning penalty per block.
-	sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
-	for _, lbn := range dirty {
-		c.hddS.SubmitBackground(at, device.Write, lbn, 1, dss.ClassWriteBuffer)
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].lbn < dirty[j].lbn })
+	for _, d := range dirty {
+		c.hddS.SubmitBackground(at, device.Write, d.lbn, 1, dss.ClassWriteBuffer, d.tenant)
 	}
 	c.wbBlocks = 0
 	c.base.snap.WBFlushes++
@@ -466,6 +496,13 @@ func (c *priorityCache) reallocate(meta *blockMeta, class dss.Class) {
 	}
 }
 
+// victimScan bounds how far from the LRU end of the victim group the
+// tenant-share preference looks for an over-share tenant's block. A
+// small constant keeps eviction O(1) against a large group while still
+// catching the common case: a churning heavy tenant's blocks dominate
+// the cold end of the lowest-priority group.
+const victimScan = 16
+
 // ensureSpace guarantees a free slot for an incoming block of priority k
 // (k == 0 with forWB means a write-buffer block, which outranks
 // everything). It returns false when no cached block has priority >= k,
@@ -475,7 +512,9 @@ func (c *priorityCache) ensureSpace(at time.Duration, k int, forWB bool) bool {
 		return true
 	}
 	// Selective eviction: find the group whose priority is numerically
-	// largest (all other blocks outrank it) and evict its LRU block.
+	// largest (all other blocks outrank it) and evict its LRU block —
+	// or, under tenant fair shares, the coldest nearby block of a
+	// tenant that exceeds its capacity share.
 	for p := c.pol.N; p >= 1; p-- {
 		g := c.groups[p]
 		if g.len() == 0 {
@@ -486,18 +525,52 @@ func (c *priorityCache) ensureSpace(at time.Duration, k int, forWB bool) bool {
 			// one: admission denied.
 			return false
 		}
-		c.evict(at, g.back())
+		c.evict(at, c.pickVictimLocked(g))
 		return true
 	}
 	// Only pinned blocks (write buffer, log) remain.
 	return false
 }
 
+// pickVictimLocked chooses the eviction victim within a priority group:
+// plain LRU, unless tenant fair shares are configured — then the scan
+// from the LRU end prefers (within victimScan entries) a block of a
+// tenant holding more cached blocks than its weight share of capacity,
+// so over-share tenants recycle their own footprint before touching
+// anyone else's. Class rank still dominates: shares redirect the victim
+// only inside the group selective eviction already chose. Caller holds
+// c.mu; g is non-empty.
+func (c *priorityCache) pickVictimLocked(g *lruList) *blockMeta {
+	lru := g.back()
+	if len(c.tenantW) == 0 {
+		return lru
+	}
+	over := func(t dss.TenantID) bool {
+		w, ok := c.tenantW[t]
+		if !ok || c.tenantWSum <= 0 {
+			// Tenants without a configured weight are not governed.
+			return false
+		}
+		return float64(c.cachedBy[t]) > w/c.tenantWSum*float64(c.capacity)
+	}
+	n := 0
+	for b := lru; b != &g.root && n < victimScan; b = b.prev {
+		if over(b.tenant) {
+			if b != lru {
+				c.base.snap.ShareEvictions++
+			}
+			return b
+		}
+		n++
+	}
+	return lru
+}
+
 // evict removes a block from cache, writing it back if dirty (Action 6).
 // Caller holds c.mu.
 func (c *priorityCache) evict(at time.Duration, meta *blockMeta) {
 	if meta.dirty {
-		c.hddS.SubmitBackground(at, device.Write, meta.lbn, 1, groupClass(meta.class))
+		c.hddS.SubmitBackground(at, device.Write, meta.lbn, 1, groupClass(meta.class), meta.tenant)
 		c.base.snap.DirtyEvict++
 	}
 	c.base.snap.Evictions++
@@ -507,17 +580,28 @@ func (c *priorityCache) evict(at time.Duration, meta *blockMeta) {
 	c.drop(meta)
 }
 
+// unchargeTenant releases one cached block's capacity charge from
+// tenant t. Caller holds c.mu.
+func (c *priorityCache) unchargeTenant(t dss.TenantID) {
+	if n := c.cachedBy[t]; n > 1 {
+		c.cachedBy[t] = n - 1
+	} else {
+		delete(c.cachedBy, t)
+	}
+}
+
 // drop unlinks a block and recycles its SSD slot. Caller holds c.mu.
 func (c *priorityCache) drop(meta *blockMeta) {
 	c.groups[meta.class].remove(meta)
 	delete(c.table, meta.lbn)
 	c.freePBN = append(c.freePBN, meta.pbn)
 	c.cached--
+	c.unchargeTenant(meta.tenant)
 }
 
-// insert adds a new block to group k and returns its metadata. Caller
-// holds c.mu and must have ensured space.
-func (c *priorityCache) insert(lbn int64, k int, dirty bool) *blockMeta {
+// insert adds a new block to group k, charged to tenant t, and returns
+// its metadata. Caller holds c.mu and must have ensured space.
+func (c *priorityCache) insert(lbn int64, k int, dirty bool, t dss.TenantID) *blockMeta {
 	var pbn int64
 	if n := len(c.freePBN); n > 0 {
 		pbn = c.freePBN[n-1]
@@ -526,11 +610,36 @@ func (c *priorityCache) insert(lbn int64, k int, dirty bool) *blockMeta {
 		pbn = c.nextPBN
 		c.nextPBN++
 	}
-	meta := &blockMeta{lbn: lbn, pbn: pbn, class: k, dirty: dirty}
+	meta := &blockMeta{lbn: lbn, pbn: pbn, class: k, dirty: dirty, tenant: t}
 	c.table[lbn] = meta
 	c.groups[k].pushFront(meta)
 	c.cached++
+	c.cachedBy[t]++
 	return meta
+}
+
+// retagTenant re-attributes a cached block to the tenant of the latest
+// request that touched it, so capacity charges follow actual use of
+// shared blocks. Caller holds c.mu.
+func (c *priorityCache) retagTenant(meta *blockMeta, t dss.TenantID) {
+	if meta.tenant == t {
+		return
+	}
+	c.unchargeTenant(meta.tenant)
+	meta.tenant = t
+	c.cachedBy[t]++
+}
+
+// TenantOccupancy reports the cached blocks charged to each tenant.
+// Used by tests and the tenants experiment.
+func (c *priorityCache) TenantOccupancy() map[dss.TenantID]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[dss.TenantID]int, len(c.cachedBy))
+	for t, n := range c.cachedBy {
+		out[t] = n
+	}
+	return out
 }
 
 // groupClass maps a cache group id back to the dss class its destage

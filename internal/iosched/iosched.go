@@ -10,13 +10,18 @@
 // dss class priorities the cache uses, so a pinned ClassLog commit write
 // no longer waits behind a background write-back or a low-priority scan.
 //
-// The scheduler provides three mechanisms:
+// The scheduler provides four mechanisms:
 //
 //   - Priority dispatch: pending requests are granted strictly by class
 //     rank (log > write buffer > priority 1..N > unclassified), with an
 //     aging bound — a request that would wait longer than AgingBound
 //     beyond its arrival is granted next regardless of rank, so low
 //     classes cannot starve.
+//   - Tenant fair shares: within a class band, requests of different
+//     tenants are ordered by weighted fair queueing over granted device
+//     blocks (see tenantfair.go), so one tenant's aggressive stream
+//     cannot turn its class into a private FIFO and starve same-class
+//     neighbours. Off until tenant weights are configured.
 //   - Coalescing: LBA-adjacent pending requests of the same class and
 //     direction are merged into a single larger device access (bounded
 //     by MaxCoalesce blocks), turning interleaved per-block traffic
@@ -89,7 +94,9 @@ type Config struct {
 	// AgingBound is the longest a queued request may wait (virtual
 	// time, measured against the device's busy horizon) before it is
 	// granted regardless of its class rank. Zero means the default of
-	// 10ms; negative disables aging.
+	// 10ms; any negative value (use the DisableAging sentinel) disables
+	// aging. "Aging off" is not representable as 0 — 0 is the
+	// zero-value-means-default convention every other knob follows.
 	AgingBound time.Duration
 
 	// MaxCoalesce caps the size in blocks of one coalesced device
@@ -99,8 +106,8 @@ type Config struct {
 	MaxCoalesce int
 
 	// Readahead is the number of blocks prefetched past a granted
-	// sequential-class read. Zero means the default of 32; negative
-	// disables readahead.
+	// sequential-class read. Zero means the default of 32; any negative
+	// value (use the DisableReadahead sentinel) disables readahead.
 	Readahead int
 
 	// ReadaheadCap bounds the prefetch buffer in blocks. Zero means
@@ -115,10 +122,38 @@ type Config struct {
 	// destages and grow the backlog without bound. Deferred background
 	// work accumulates in the queue, where LBA-adjacent destages
 	// coalesce into single large accesses. Zero means the default of
-	// 0.3; negative disables the budget (background runs only when the
-	// device idles — the pre-throttling behaviour).
+	// 0.3; any negative value (use the DisableBackgroundShare sentinel)
+	// disables the budget (background runs only when the device idles —
+	// the pre-throttling behaviour).
 	BackgroundShare float64
+
+	// TenantWeights seeds the group's tenant fair-share weights (see
+	// Group.SetTenantWeight). Nil or empty leaves fair sharing off: the
+	// class-only scheduler, which is also the tenants experiment's
+	// baseline arm.
+	TenantWeights map[dss.TenantID]float64
 }
+
+// Sentinels for the Config knobs whose zero value means "use the
+// default": disabling those mechanisms is expressed with an explicitly
+// negative value, never with 0. Assigning the sentinel reads as intent
+// at the call site and round-trips through withDefaults untouched.
+const (
+	// DisableAging turns the starvation aging bound off entirely: class
+	// rank (and, under fair sharing, tenant finish tags) alone decide
+	// dispatch, and a low class can wait without bound.
+	DisableAging = time.Duration(-1)
+
+	// DisableReadahead turns sequential-class prefetching off for the
+	// whole group (per-device opt-out is Attach's NoReadahead class).
+	DisableReadahead = -1
+)
+
+// DisableBackgroundShare turns the write-back token budget off:
+// background work still yields to queued foreground but is otherwise
+// dispatched eagerly instead of accumulating in the deferred backlog —
+// the pre-throttling behaviour.
+const DisableBackgroundShare = float64(-1)
 
 const (
 	defaultAgingBound      = 10 * time.Millisecond
@@ -190,6 +225,7 @@ type waiter struct {
 	completion time.Duration
 	arrive     time.Duration
 	class      dss.Class
+	tenant     dss.TenantID
 	barrier    bool
 	done       chan struct{}
 }
@@ -201,10 +237,22 @@ type request struct {
 	lba    int64
 	blocks int
 	class  dss.Class
+	tenant dss.TenantID
 	rank   int
 	arrive time.Duration
-	seq    uint64
-	w      *waiter // nil for background work
+	// base is the later of the arrival and the device's busy horizon at
+	// enqueue: the earliest the request could possibly have been served.
+	// Grant wait is measured from it, so a stream whose clock lags a
+	// saturated device is not billed the pre-existing backlog as
+	// scheduler-imposed delay.
+	base time.Duration
+	seq  uint64
+	w    *waiter // nil for background work
+
+	// vstart and vfinish are the request's fair-queueing tags (see
+	// tenantfair.go). Both stay 0 when fair sharing is off and for
+	// background work, which keeps the tag comparison inert.
+	vstart, vfinish float64
 }
 
 // Prefetched describes one readahead run completed by the device,
@@ -215,6 +263,9 @@ type Prefetched struct {
 	Blocks int
 	// Ready is the virtual time the run finished transferring.
 	Ready time.Duration
+	// Tenant is the tenant of the scan read the run extended, so cache
+	// admission can charge the blocks to the tenant that caused them.
+	Tenant dss.TenantID
 }
 
 // Stats are cumulative counters for one scheduler (one device).
@@ -241,6 +292,19 @@ type Stats struct {
 	BackgroundGrants int64
 	BackgroundBlocks int64
 	BudgetGrants     int64
+	// BudgetDeposits, BudgetWithdrawals and BudgetBlocks audit the
+	// write-back token budget in blocks. Foreground grants deposit
+	// share*blocks (capped at one coalesced batch of credit — a capped
+	// deposit is forfeited, not banked); budget grants withdraw the
+	// credit they actually consumed, so at any point
+	// deposits - withdrawals == credit exactly and coalesced background
+	// blocks are provably not double-counted against the foreground
+	// budget. BudgetBlocks counts the blocks budget grants carried:
+	// BudgetBlocks - BudgetWithdrawals is the overdraw forgiven by the
+	// zero floor, bounded by one budget batch per grant.
+	BudgetDeposits    float64
+	BudgetWithdrawals float64
+	BudgetBlocks      int64
 	// Absorbed counts queued background writes dropped because a newer
 	// background write to the same block superseded them before they
 	// reached the device (write absorption in the deferred backlog).
@@ -260,11 +324,24 @@ type Group struct {
 	registered  map[*simclock.Clock]struct{}
 	blocked     int
 	dispatching bool
+
+	// tenantW holds the configured tenant fair-share weights; empty
+	// means fair sharing is off (see tenantfair.go).
+	tenantW map[dss.TenantID]float64
 }
 
 // NewGroup creates an empty scheduling domain.
 func NewGroup(cfg Config) *Group {
-	return &Group{cfg: cfg.withDefaults(), registered: make(map[*simclock.Clock]struct{})}
+	g := &Group{cfg: cfg.withDefaults(), registered: make(map[*simclock.Clock]struct{})}
+	for id, w := range cfg.TenantWeights {
+		if w > 0 {
+			if g.tenantW == nil {
+				g.tenantW = make(map[dss.TenantID]float64, len(cfg.TenantWeights))
+			}
+			g.tenantW[id] = w
+		}
+	}
+	return g
 }
 
 // Attach wires a device into the group and returns its scheduler.
@@ -317,12 +394,20 @@ func (g *Group) Drain() {
 	g.mu.Unlock()
 }
 
-// ResetStats clears every scheduler's counters (not the readahead
-// buffer contents).
+// ResetStats clears every scheduler's counters — the per-tenant ones
+// included — but neither the readahead buffer contents nor the tenants'
+// fair-queueing tags (virtual time keeps flowing across a stats reset).
+// The write-back credit balance likewise carries across the reset; it
+// is re-seeded into the fresh ledger as an opening deposit so the
+// documented invariant deposits - withdrawals == credit keeps holding
+// in the measured window.
 func (g *Group) ResetStats() {
 	g.mu.Lock()
 	for _, s := range g.scheds {
-		s.stats = Stats{}
+		s.stats = Stats{BudgetDeposits: s.bgCredit}
+		for _, a := range s.tenants {
+			a.stats = TenantStats{}
+		}
 	}
 	g.mu.Unlock()
 }
@@ -422,9 +507,17 @@ type Scheduler struct {
 
 	// bgCredit is the write-back budget balance in blocks: foreground
 	// grants deposit BackgroundShare of their blocks, budget-forced
-	// background grants withdraw what they carried (possibly
-	// overdrawing by one coalesced batch, which later deposits repay).
+	// background grants withdraw what they carried, floored at zero —
+	// a batch larger than the balance has the excess forgiven rather
+	// than borrowed against future deposits, and the forgiveness is
+	// bounded by one budget batch per grant.
 	bgCredit float64
+
+	// vclock is the scheduler's fair-queueing virtual time: the start
+	// tag of the most recently granted foreground request. tenants
+	// holds per-tenant finish tags and counters (see tenantfair.go).
+	vclock  float64
+	tenants map[dss.TenantID]*tenantAcct
 
 	ra        map[int64]time.Duration // prefetch buffer: lba -> ready time
 	raOrder   []int64                 // FIFO eviction order (may hold stale keys)
@@ -443,10 +536,12 @@ func (s *Scheduler) Stats() Stats {
 }
 
 // Submit delivers a foreground request: the caller's stream waits (in
-// virtual time) for its completion, which is returned. If stream is a
-// clock registered with the group, the request takes part in
+// virtual time) for its completion, which is returned. tenant
+// attributes the request for weighted fair sharing and per-tenant
+// accounting (dss.DefaultTenant for unattributed traffic). If stream is
+// a clock registered with the group, the request takes part in
 // closed-population dispatch; otherwise it is granted opportunistically.
-func (s *Scheduler) Submit(at time.Duration, op device.Op, lba int64, blocks int, class dss.Class, stream *simclock.Clock) time.Duration {
+func (s *Scheduler) Submit(at time.Duration, op device.Op, lba int64, blocks int, class dss.Class, tenant dss.TenantID, stream *simclock.Clock) time.Duration {
 	if blocks <= 0 {
 		return at
 	}
@@ -456,6 +551,9 @@ func (s *Scheduler) Submit(at time.Duration, op device.Op, lba int64, blocks int
 	g := s.g
 	g.mu.Lock()
 	s.stats.Submitted++
+	if s.trackTenantLocked(tenant) {
+		s.acctLocked(tenant).stats.Submitted++
+	}
 	if op == device.Write {
 		s.invalidateRALocked(lba, blocks)
 	}
@@ -478,13 +576,16 @@ func (s *Scheduler) Submit(at time.Duration, op device.Op, lba int64, blocks int
 		}
 		if blocks == 0 {
 			s.dev.ObserveLatency(int(class), floor-at)
+			if s.trackTenantLocked(tenant) {
+				s.dev.ObserveTenantLatency(int(tenant), floor-at)
+			}
 			g.mu.Unlock()
 			return floor
 		}
 	}
 
-	w := &waiter{done: make(chan struct{}), arrive: at, class: class}
-	s.enqueueLocked(w, at, op, lba, blocks, class)
+	w := &waiter{done: make(chan struct{}), arrive: at, class: class, tenant: tenant}
+	s.enqueueLocked(w, at, op, lba, blocks, class, tenant)
 	if stream != nil {
 		if _, ok := g.registered[stream]; ok {
 			w.barrier = true
@@ -514,10 +615,11 @@ func (s *Scheduler) Submit(at time.Duration, op device.Op, lba int64, blocks int
 // foreground class — on an idle device, when the backlog's write-back
 // budget covers it, or at the final Drain — and it is exempt from
 // aging: nobody waits on it, so it never jumps ahead of foreground
-// traffic on age. Deferred work stays queued, where adjacent destages
-// coalesce. Safe to call while holding caller locks: it never blocks
-// on a grant.
-func (s *Scheduler) SubmitBackground(at time.Duration, op device.Op, lba int64, blocks int, class dss.Class) {
+// traffic on age. tenant attributes the blocks for per-tenant
+// accounting only; background work carries no fair-queueing tags.
+// Deferred work stays queued, where adjacent destages coalesce. Safe
+// to call while holding caller locks: it never blocks on a grant.
+func (s *Scheduler) SubmitBackground(at time.Duration, op device.Op, lba int64, blocks int, class dss.Class, tenant dss.TenantID) {
 	if blocks <= 0 {
 		return
 	}
@@ -544,7 +646,7 @@ func (s *Scheduler) SubmitBackground(at time.Duration, op device.Op, lba int64, 
 			}
 		}
 	}
-	s.enqueueLocked(nil, at, op, lba, blocks, class)
+	s.enqueueLocked(nil, at, op, lba, blocks, class, tenant)
 	if len(g.registered) == 0 {
 		g.drainLocked(false)
 	}
@@ -573,23 +675,44 @@ func (s *Scheduler) TakePrefetched() []Prefetched {
 
 // enqueueLocked splits a submission into MaxCoalesce-sized chunks (so a
 // long scan run cannot monopolize the device between grants) and queues
-// them. FIFO mode queues the submission whole, as the legacy elevator
-// would. Caller holds g.mu.
-func (s *Scheduler) enqueueLocked(w *waiter, at time.Duration, op device.Op, lba int64, blocks int, class dss.Class) {
+// them. Under fair sharing, each foreground chunk is stamped with its
+// tenant's start/finish tags: consecutive chunks chain through the
+// tenant's lastFinish, so one big submission pays virtual time
+// proportional to all of its blocks. FIFO mode queues the submission
+// whole, as the legacy elevator would. Caller holds g.mu.
+func (s *Scheduler) enqueueLocked(w *waiter, at time.Duration, op device.Op, lba int64, blocks int, class dss.Class, tenant dss.TenantID) {
 	rank := classRank(class)
 	if w == nil {
 		rank += backgroundBand
 	}
+	var ta *tenantAcct
+	var weight float64
+	if w != nil && s.g.fairLocked() {
+		ta = s.acctLocked(tenant)
+		weight = s.g.tenantWeightLocked(tenant)
+	}
 	max := s.g.cfg.MaxCoalesce
 	if s.g.cfg.FIFO {
 		max = blocks
+	}
+	base := at
+	if b := s.dev.BusyUntil(); b > base {
+		base = b
 	}
 	for blocks > 0 {
 		n := blocks
 		if n > max {
 			n = max
 		}
-		r := &request{op: op, lba: lba, blocks: n, class: class, rank: rank, arrive: at, seq: s.seq, w: w}
+		r := &request{op: op, lba: lba, blocks: n, class: class, tenant: tenant, rank: rank, arrive: at, base: base, seq: s.seq, w: w}
+		if ta != nil {
+			start := s.vclock
+			if ta.lastFinish > start {
+				start = ta.lastFinish
+			}
+			ta.lastFinish = start + float64(n)/weight
+			r.vstart, r.vfinish = start, ta.lastFinish
+		}
 		s.seq++
 		if w != nil {
 			w.remaining++
@@ -670,9 +793,14 @@ func (s *Scheduler) pickLocked(bgOK bool) (pick int, budget bool) {
 		return overdue, false
 	}
 	if bestFg >= 0 {
-		if bestBg >= 0 && s.g.cfg.BackgroundShare > 0 && s.bgCredit >= 1 {
+		if bestBg >= 0 && s.g.cfg.BackgroundShare > 0 && s.bgCredit >= 1 &&
+			s.pending[bestBg].blocks <= budgetMaxCoalesce {
 			// The budget guarantees background its bounded share of
-			// device time even under a saturated foreground phase.
+			// device time even under a saturated foreground phase. A
+			// chunk already larger than the budget batch cap is never
+			// forced ahead of waiting foreground — the cap bounds the
+			// latency a budget grant injects, and capping only the
+			// coalescing loop would not bound the head request itself.
 			return bestBg, true
 		}
 		return bestFg, false
@@ -703,15 +831,22 @@ func olderThan(a, b *request) bool {
 	return a.seq < b.seq
 }
 
-// betterThanAt orders same-rank requests by distance from the device
-// head (the elevator pass): with several same-class requests co-pending
-// — concurrent transaction streams, an accumulated destage backlog —
-// the nearest is granted first, so queue depth buys shorter positioning.
-// The aging bound, checked before this ordering applies, keeps far-away
-// requests from starving.
+// betterThanAt orders same-rank requests first by fair-queueing finish
+// tag — under tenant fair sharing, the tenant owed the most virtual
+// time wins the class band — and then by distance from the device head
+// (the elevator pass): with several same-class same-tenant requests
+// co-pending — concurrent transaction streams, an accumulated destage
+// backlog — the nearest is granted first, so queue depth buys shorter
+// positioning. With fair sharing off every finish tag is 0 and the
+// ordering reduces to the class-only elevator. The aging bound, checked
+// before this ordering applies, keeps far-away requests (and low-weight
+// tenants) from starving.
 func betterThanAt(a, b *request, head int64) bool {
 	if a.rank != b.rank {
 		return a.rank < b.rank
+	}
+	if a.vfinish != b.vfinish {
+		return a.vfinish < b.vfinish
 	}
 	if head >= 0 {
 		da, db := a.lba-head, b.lba-head
@@ -768,16 +903,23 @@ func (s *Scheduler) grantBestLocked(bgOK bool) bool {
 	// direction into one access. A budget-forced background grant runs
 	// ahead of waiting foreground, so its batch is capped well below
 	// MaxCoalesce: the throttle must bound the latency it injects, not
-	// just the share it consumes.
+	// just the share it consumes. Under tenant fair sharing the batch
+	// is also tenant-pure — letting tenant B's blocks ride in tenant
+	// A's grant would hand B device time its finish tags never paid
+	// for, so adjacency across tenants no longer merges.
 	max := s.g.cfg.MaxCoalesce
 	if budget && max > budgetMaxCoalesce {
 		max = budgetMaxCoalesce
 	}
+	fair := s.g.fairLocked()
 	for total < max {
 		found := -1
 		prepend := false
 		for j, p := range s.pending {
 			if p.op != head.op || p.class != head.class || total+p.blocks > max {
+				continue
+			}
+			if fair && p.tenant != head.tenant {
 				continue
 			}
 			if p.lba == end {
@@ -850,25 +992,70 @@ func (s *Scheduler) grantLocked(batch []*request, start int64, total int, budget
 	// Idle and drain grants ride free device time and touch no credit.
 	if share := s.g.cfg.BackgroundShare; share > 0 {
 		// The credit cap is one coalesced batch: a budget grant can put
-		// at most MaxCoalesce blocks ahead of waiting foreground, and the
-		// floor at zero keeps bursts from borrowing against the future.
+		// at most MaxCoalesce blocks ahead of waiting foreground, and
+		// the floor at zero keeps bursts from borrowing against the
+		// future. The ledger records effective movements — the credited
+		// part of a capped deposit, the consumed part of a floored
+		// withdrawal — so deposits - withdrawals == credit always.
 		creditCap := float64(s.g.cfg.MaxCoalesce)
 		if head.w != nil {
+			before := s.bgCredit
 			s.bgCredit += share * float64(total)
 			if s.bgCredit > creditCap {
 				s.bgCredit = creditCap
 			}
-		} else if budget {
-			s.bgCredit -= float64(total)
-			if s.bgCredit < 0 {
-				s.bgCredit = 0
+			if s.bgCredit > before {
+				s.stats.BudgetDeposits += s.bgCredit - before
 			}
+		} else if budget {
+			withdraw := float64(total)
+			if withdraw > s.bgCredit {
+				withdraw = s.bgCredit
+			}
+			s.bgCredit -= withdraw
+			s.stats.BudgetWithdrawals += withdraw
+			s.stats.BudgetBlocks += int64(total)
 			s.stats.BudgetGrants++
 		}
 	}
 	if head.w == nil {
 		s.stats.BackgroundGrants++
 		s.stats.BackgroundBlocks += int64(total)
+	}
+	// Per-tenant accounting: each request's blocks are charged to its
+	// own tenant (a fair-share batch is tenant-pure, but the class-only
+	// baseline still merges across tenants), and the grant wait is
+	// measured the way the aging bound measures it — against the
+	// device's busy horizon at grant time.
+	busy := s.dev.BusyUntil()
+	for _, r := range batch {
+		if r.vstart > s.vclock {
+			s.vclock = r.vstart
+		}
+		if !s.trackTenantLocked(r.tenant) {
+			continue
+		}
+		ts := &s.acctLocked(r.tenant).stats
+		if r.w != nil {
+			ts.Blocks += int64(r.blocks)
+			if wait := busy - r.base; wait > ts.MaxWait {
+				ts.MaxWait = wait
+			}
+		} else {
+			ts.BackgroundBlocks += int64(r.blocks)
+		}
+	}
+	if extra > 0 && s.trackTenantLocked(head.tenant) {
+		// Readahead extends the grant with real device blocks: bill
+		// them to the scan's tenant — both in the granted-block stats
+		// and, under fair sharing, in its virtual time, so prefetching
+		// cannot buy a tenant device bandwidth its weight does not
+		// cover.
+		ta := s.acctLocked(head.tenant)
+		ta.stats.Blocks += int64(extra)
+		if s.g.fairLocked() {
+			ta.lastFinish += float64(extra) / s.g.tenantWeightLocked(head.tenant)
+		}
 	}
 	end := s.dev.Access(arrive, head.op, start, total+extra)
 	if extra > 0 {
@@ -877,7 +1064,7 @@ func (s *Scheduler) grantLocked(batch []*request, start int64, total int, budget
 			s.insertRALocked(base+int64(j), end)
 		}
 		if s.feed {
-			s.prefetchq = append(s.prefetchq, Prefetched{LBA: base, Blocks: extra, Ready: end})
+			s.prefetchq = append(s.prefetchq, Prefetched{LBA: base, Blocks: extra, Ready: end, Tenant: head.tenant})
 		}
 		s.stats.PrefetchBlocks += int64(extra)
 	}
@@ -893,6 +1080,9 @@ func (s *Scheduler) grantLocked(batch []*request, start int64, total int, budget
 		if r.w.remaining == 0 {
 			// One latency sample per submission, at its last chunk.
 			s.dev.ObserveLatency(int(r.w.class), r.w.completion-r.w.arrive)
+			if s.trackTenantLocked(r.w.tenant) {
+				s.dev.ObserveTenantLatency(int(r.w.tenant), r.w.completion-r.w.arrive)
+			}
 			if r.w.barrier {
 				s.g.blocked--
 			}

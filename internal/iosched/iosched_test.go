@@ -24,7 +24,7 @@ func newTestSched(cfg Config) (*Group, *Scheduler, *device.Device) {
 func enqueue(g *Group, s *Scheduler, at time.Duration, op device.Op, lba int64, blocks int, class dss.Class) *waiter {
 	w := &waiter{done: make(chan struct{}), arrive: at, class: class}
 	g.mu.Lock()
-	s.enqueueLocked(w, at, op, lba, blocks, class)
+	s.enqueueLocked(w, at, op, lba, blocks, class, dss.DefaultTenant)
 	g.mu.Unlock()
 	return w
 }
@@ -142,7 +142,7 @@ func TestReadahead(t *testing.T) {
 	if st.BlocksRead != 17 {
 		t.Fatalf("over-read %d blocks, want 17", st.BlocksRead)
 	}
-	got := s.Submit(first.completion, device.Read, 101, 16, seqClass, nil)
+	got := s.Submit(first.completion, device.Read, 101, 16, seqClass, dss.DefaultTenant, nil)
 	if after := dev.Stats(); after.Reads != st.Reads {
 		t.Fatalf("buffered blocks re-read the device: %d -> %d", st.Reads, after.Reads)
 	}
@@ -164,9 +164,9 @@ func TestWriteInvalidatesReadahead(t *testing.T) {
 	g, s, dev := newTestSched(Config{Readahead: 8})
 	w := enqueue(g, s, 0, device.Read, 100, 1, seqClass)
 	drain(g)
-	s.Submit(w.completion, device.Write, 103, 1, dss.ClassWriteBuffer, nil)
+	s.Submit(w.completion, device.Write, 103, 1, dss.ClassWriteBuffer, dss.DefaultTenant, nil)
 	before := dev.Stats().Reads
-	s.Submit(w.completion, device.Read, 103, 1, seqClass, nil)
+	s.Submit(w.completion, device.Read, 103, 1, seqClass, dss.DefaultTenant, nil)
 	if dev.Stats().Reads == before {
 		t.Fatal("stale prefetched block served after overwrite")
 	}
@@ -177,9 +177,9 @@ func TestWriteInvalidatesReadahead(t *testing.T) {
 func TestBackgroundYields(t *testing.T) {
 	g, s, _ := newTestSched(Config{Readahead: -1})
 	g.mu.Lock()
-	s.enqueueLocked(nil, 0, device.Write, 5000, 1, dss.ClassWriteBuffer) // background
+	s.enqueueLocked(nil, 0, device.Write, 5000, 1, dss.ClassWriteBuffer, dss.DefaultTenant) // background
 	fg := &waiter{done: make(chan struct{})}
-	s.enqueueLocked(fg, 0, device.Read, 100, 1, dss.Class(2))
+	s.enqueueLocked(fg, 0, device.Read, 100, 1, dss.Class(2), dss.DefaultTenant)
 	g.drainLocked(true)
 	g.mu.Unlock()
 	// Foreground granted first: its completion equals its own service
@@ -194,8 +194,8 @@ func TestBackgroundYields(t *testing.T) {
 // call order is service order and latencies are still recorded.
 func TestDisabledIsFIFO(t *testing.T) {
 	_, s, dev := newTestSched(Config{Disable: true})
-	e1 := s.Submit(0, device.Write, 100, 1, seqClass, nil)
-	e2 := s.Submit(0, device.Write, 5000, 1, dss.ClassLog, nil)
+	e1 := s.Submit(0, device.Write, 100, 1, seqClass, dss.DefaultTenant, nil)
+	e2 := s.Submit(0, device.Write, 5000, 1, dss.ClassLog, dss.DefaultTenant, nil)
 	if e2 <= e1 {
 		t.Fatalf("FIFO violated: %v then %v", e1, e2)
 	}
@@ -220,12 +220,12 @@ func TestBarrierPriority(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			defer g.Unregister(&scanClk)
-			scanEnd = s.Submit(0, device.Read, 100000, 64, seqClass, &scanClk)
+			scanEnd = s.Submit(0, device.Read, 100000, 64, seqClass, dss.DefaultTenant, &scanClk)
 		}()
 		go func() {
 			defer wg.Done()
 			defer g.Unregister(&logClk)
-			logEnd = s.Submit(0, device.Write, 500000, 1, dss.ClassLog, &logClk)
+			logEnd = s.Submit(0, device.Write, 500000, 1, dss.ClassLog, dss.DefaultTenant, &logClk)
 		}()
 		wg.Wait()
 		if logEnd >= scanEnd {
@@ -267,8 +267,8 @@ func TestBackgroundBudgetUnderSaturation(t *testing.T) {
 	for i := 0; i < 300; i++ {
 		// An adjacent destage backlog builds up alongside a continuous
 		// foreground stream of scattered reads.
-		s.SubmitBackground(0, device.Write, 500000+int64(i), 1, dss.ClassWriteBuffer)
-		s.Submit(0, device.Read, int64((i*7919)%100000), 1, dss.Class(2), nil)
+		s.SubmitBackground(0, device.Write, 500000+int64(i), 1, dss.ClassWriteBuffer, dss.DefaultTenant)
+		s.Submit(0, device.Read, int64((i*7919)%100000), 1, dss.Class(2), dss.DefaultTenant, nil)
 	}
 	st := s.Stats()
 	if st.BudgetGrants == 0 {
@@ -295,7 +295,7 @@ func TestBackgroundBudgetUnderSaturation(t *testing.T) {
 func TestBackgroundShareDisabled(t *testing.T) {
 	_, s, dev := newTestSched(Config{BackgroundShare: -1, Readahead: -1})
 	for i := 0; i < 50; i++ {
-		s.SubmitBackground(0, device.Write, 500000+int64(i), 1, dss.ClassWriteBuffer)
+		s.SubmitBackground(0, device.Write, 500000+int64(i), 1, dss.ClassWriteBuffer, dss.DefaultTenant)
 	}
 	if got := dev.Stats().BlocksWrite; got != 50 {
 		t.Fatalf("eager background left %d of 50 blocks unwritten", 50-got)
@@ -311,7 +311,7 @@ func TestBackgroundShareDisabled(t *testing.T) {
 func TestBackgroundWriteAbsorption(t *testing.T) {
 	g, s, dev := newTestSched(Config{BackgroundShare: 0.5, Readahead: -1})
 	for i := 0; i < 10; i++ {
-		s.SubmitBackground(0, device.Write, 700000, 1, dss.ClassWriteBuffer)
+		s.SubmitBackground(0, device.Write, 700000, 1, dss.ClassWriteBuffer, dss.DefaultTenant)
 	}
 	g.Drain()
 	// The first write lands on the idle device; the rest arrive while it

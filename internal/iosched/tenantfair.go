@@ -1,0 +1,174 @@
+// Tenant-weighted fair queueing: the multi-tenant sub-layer of the QoS
+// scheduler.
+//
+// Class rank decides which *band* of traffic owns the device next (log
+// before write buffer before caching priorities); weighted fair queueing
+// decides which *tenant inside the band* is granted. Each scheduler runs
+// start-time fair queueing (SFQ) over granted device blocks: a
+// foreground request arriving for tenant t is tagged
+//
+//	start  = max(vclock, lastFinish[t])
+//	finish = start + blocks/weight[t]
+//
+// and within a class band the request with the lowest finish tag wins
+// (ties fall through to the elevator pass). The scheduler's virtual
+// clock advances to the start tag of each granted request, so an idle
+// tenant re-enters at the current virtual time instead of being repaid
+// for time it did not use. Over any interval in which a set of tenants
+// stays backlogged, each receives device blocks in proportion to its
+// weight; the aging bound is checked before the WFQ order applies, so
+// even a weight-1 tenant under a weight-100 flood is granted within
+// AgingBound.
+//
+// Fair sharing activates only when at least one tenant weight is
+// configured (Config.TenantWeights or Group.SetTenantWeight). Without
+// weights every tag is zero and dispatch degenerates to the class-only
+// scheduler, which doubles as the experiment baseline. Background work
+// is never tagged: it already sits in a band below all foreground, and
+// charging a tenant's destages against its virtual time would bill its
+// foreground traffic twice for the same blocks.
+package iosched
+
+import (
+	"time"
+
+	"hstoragedb/internal/dss"
+)
+
+// TenantStats are cumulative per-tenant counters for one scheduler (one
+// device). Granted-block shares across tenants are the fairness metric
+// the tenants experiment reports against configured weights.
+type TenantStats struct {
+	// Submitted counts foreground submissions attributed to the tenant.
+	Submitted int64
+	// Blocks counts foreground device blocks granted to the tenant,
+	// including readahead blocks its scan grants were extended by.
+	Blocks int64
+	// BackgroundBlocks counts background blocks (destages, asynchronous
+	// fills) attributed to the tenant.
+	BackgroundBlocks int64
+	// MaxWait is the longest scheduler-imposed queue delay a granted
+	// request of this tenant observed: the device's busy horizon at
+	// grant time minus the later of the request's arrival and the
+	// horizon at enqueue (the backlog already scheduled ahead of a
+	// late-arriving stream is queueing the scheduler cannot undo, so it
+	// is not counted). The aging bound caps this delay.
+	MaxWait time.Duration
+}
+
+// tenantAcct is one tenant's fair-queueing state on one scheduler: the
+// finish tag of its most recent foreground block plus its counters.
+type tenantAcct struct {
+	lastFinish float64
+	stats      TenantStats
+}
+
+// SetTenantWeight configures tenant id's fair-share weight across every
+// scheduler of the group. Weights are relative: a weight-4 tenant is
+// entitled to four times the device blocks of a weight-1 tenant while
+// both are backlogged. A weight w <= 0 removes the tenant (it falls
+// back to the implicit weight 1); removing the last configured tenant
+// turns fair sharing off entirely. The hybrid priority cache's
+// capacity shares snapshot Config.TenantWeights at construction and do
+// not follow later SetTenantWeight calls.
+func (g *Group) SetTenantWeight(id dss.TenantID, w float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if w <= 0 {
+		delete(g.tenantW, id)
+		return
+	}
+	if g.tenantW == nil {
+		g.tenantW = make(map[dss.TenantID]float64)
+	}
+	g.tenantW[id] = w
+}
+
+// TenantWeight reports tenant id's configured weight; tenants without a
+// configured weight have the implicit weight 1.
+func (g *Group) TenantWeight(id dss.TenantID) float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.tenantWeightLocked(id)
+}
+
+// TenantShare reports tenant id's fraction of the total configured
+// weight — its fair share of a saturated device and of tenant-governed
+// cache capacity. It returns 0 when fair sharing is off or the tenant
+// has no configured weight.
+func (g *Group) TenantShare(id dss.TenantID) float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	w, ok := g.tenantW[id]
+	if !ok {
+		return 0
+	}
+	var sum float64
+	for _, v := range g.tenantW {
+		sum += v
+	}
+	if sum <= 0 {
+		return 0
+	}
+	return w / sum
+}
+
+// TenantWeights returns a copy of the configured tenant weights. An
+// empty map means fair sharing is off (the class-only scheduler).
+func (g *Group) TenantWeights() map[dss.TenantID]float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[dss.TenantID]float64, len(g.tenantW))
+	for id, w := range g.tenantW {
+		out[id] = w
+	}
+	return out
+}
+
+// fairLocked reports whether tenant-weighted fair queueing is active.
+// Caller holds g.mu.
+func (g *Group) fairLocked() bool { return len(g.tenantW) > 0 }
+
+// tenantWeightLocked returns id's weight with the implicit default of 1.
+// Caller holds g.mu.
+func (g *Group) tenantWeightLocked(id dss.TenantID) float64 {
+	if w, ok := g.tenantW[id]; ok {
+		return w
+	}
+	return 1
+}
+
+// TenantStats returns a snapshot of the per-tenant counters of this
+// scheduler. Only tenants that were explicitly attributed (non-zero
+// tenant ID) or active while fair sharing was on appear.
+func (s *Scheduler) TenantStats() map[dss.TenantID]TenantStats {
+	s.g.mu.Lock()
+	defer s.g.mu.Unlock()
+	out := make(map[dss.TenantID]TenantStats, len(s.tenants))
+	for id, a := range s.tenants {
+		out[id] = a.stats
+	}
+	return out
+}
+
+// trackTenantLocked reports whether per-tenant accounting applies to
+// tenant t: always under fair sharing, and for explicitly attributed
+// tenants even without weights (the class-only baseline still reports
+// per-tenant shares). Caller holds g.mu.
+func (s *Scheduler) trackTenantLocked(t dss.TenantID) bool {
+	return t != dss.DefaultTenant || s.g.fairLocked()
+}
+
+// acctLocked returns (allocating on first use) tenant t's accounting
+// state on this scheduler. Caller holds g.mu.
+func (s *Scheduler) acctLocked(t dss.TenantID) *tenantAcct {
+	a := s.tenants[t]
+	if a == nil {
+		if s.tenants == nil {
+			s.tenants = make(map[dss.TenantID]*tenantAcct)
+		}
+		a = &tenantAcct{}
+		s.tenants[t] = a
+	}
+	return a
+}

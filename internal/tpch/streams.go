@@ -23,6 +23,15 @@ func ThroughputOrders(n int) [][]int {
 	return all[:n]
 }
 
+// ScanHeavyQueries lists the scan-dominated queries (Q1, Q6, Q14) the
+// contention experiments use to keep the HDD saturated with Rule 1
+// sequential traffic: the iosched experiment runs them against an OLTP
+// stream's pinned log writes, and the tenants experiment loops them per
+// tenant to measure weighted fair shares of a saturated device.
+func ScanHeavyQueries() []int {
+	return []int{1, 6, 14}
+}
+
 // ShortQueries lists the queries Figure 11a plots separately (the rest go
 // to Figure 11b). The paper splits by execution time; we follow the same
 // split used for its readability.

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"hstoragedb/internal/dss"
 	"hstoragedb/internal/engine"
 	"hstoragedb/internal/engine/policy"
 	"hstoragedb/internal/engine/txn"
@@ -56,8 +57,11 @@ func oltpFootprint(ds *Dataset) policy.QueryInfo {
 // first non-retryable error stops the run. The workers' device traffic
 // is dispatched opportunistically (they must not join a closed scheduler
 // population, since a worker blocked on a page lock would stall the
-// barrier).
-func (ds *Dataset) RunOLTPWorkers(tm *txn.Manager, inst *engine.Instance, workers, txnsPerWorker int, seed int64, startAt time.Duration) (WorkersResult, error) {
+// barrier). The optional trailing tenants attribute each worker's
+// traffic to a tenant (worker i gets tenants[i]; extra workers stay on
+// dss.DefaultTenant), which is how the tenants experiment measures
+// per-tenant commit throughput under weighted fair sharing.
+func (ds *Dataset) RunOLTPWorkers(tm *txn.Manager, inst *engine.Instance, workers, txnsPerWorker int, seed int64, startAt time.Duration, tenants ...dss.TenantID) (WorkersResult, error) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -67,6 +71,9 @@ func (ds *Dataset) RunOLTPWorkers(tm *txn.Manager, inst *engine.Instance, worker
 		res.Drivers[i] = ds.NewOLTP(seed + int64(i))
 		sessions[i] = inst.NewSession()
 		sessions[i].Clk.AdvanceTo(startAt)
+		if i < len(tenants) {
+			sessions[i].BindTenant(tenants[i])
+		}
 	}
 
 	var (
