@@ -1,0 +1,148 @@
+// Command benchdiff compares two hbench -json documents (schema
+// "hbench/v1") and reports relative drift between their numeric results.
+//
+// Usage:
+//
+//	benchdiff old.json new.json
+//	benchdiff -warn 0.2 BENCH_tenants.json fresh.json
+//
+// Every numeric leaf under "experiments" is matched by its JSON path;
+// leaves whose relative change exceeds the -warn threshold are listed.
+// benchdiff always exits 0 when both files parse — drift is a warning,
+// not a failure — so CI can surface regressions without going red over
+// simulator noise. It exits 1 only on unreadable input or a schema it
+// doesn't know.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+)
+
+type benchFile struct {
+	Schema      string         `json:"schema"`
+	Experiments map[string]any `json:"experiments"`
+}
+
+func main() {
+	log.SetFlags(0)
+	warn := flag.Float64("warn", 0.2, "relative drift threshold above which a leaf is reported")
+	abs := flag.Float64("min", 1e-9, "ignore leaves whose absolute values are both below this (noise floor)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-warn 0.2] old.json new.json")
+		os.Exit(1)
+	}
+	oldDoc := load(flag.Arg(0))
+	newDoc := load(flag.Arg(1))
+
+	oldLeaves := map[string]float64{}
+	flatten("", oldDoc.Experiments, oldLeaves)
+	newLeaves := map[string]float64{}
+	flatten("", newDoc.Experiments, newLeaves)
+
+	var paths []string
+	for p := range oldLeaves {
+		if _, ok := newLeaves[p]; ok {
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths)
+
+	drifted := 0
+	for _, p := range paths {
+		a, b := oldLeaves[p], newLeaves[p]
+		if math.Abs(a) < *abs && math.Abs(b) < *abs {
+			continue
+		}
+		d := drift(a, b)
+		if d > *warn {
+			drifted++
+			fmt.Printf("WARN %-70s %14g -> %-14g (%+.1f%%)\n", p, a, b, 100*(b-a)/math.Max(math.Abs(a), *abs))
+		}
+	}
+	onlyOld, onlyNew := 0, 0
+	for p := range oldLeaves {
+		if _, ok := newLeaves[p]; !ok {
+			onlyOld++
+		}
+	}
+	for p := range newLeaves {
+		if _, ok := oldLeaves[p]; !ok {
+			onlyNew++
+		}
+	}
+	fmt.Printf("benchdiff: %d comparable leaves, %d over %.0f%% drift", len(paths), drifted, 100**warn)
+	if onlyOld > 0 || onlyNew > 0 {
+		fmt.Printf(" (%d only in old, %d only in new)", onlyOld, onlyNew)
+	}
+	fmt.Println()
+}
+
+func load(path string) benchFile {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatalf("benchdiff: %v", err)
+	}
+	var doc benchFile
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		log.Fatalf("benchdiff: %s: %v", path, err)
+	}
+	if doc.Schema != "hbench/v1" {
+		log.Fatalf("benchdiff: %s: unknown schema %q (want hbench/v1; regenerate with a current hbench)", path, doc.Schema)
+	}
+	return doc
+}
+
+// flatten walks a decoded JSON tree collecting numeric leaves keyed by
+// their dotted path. Array elements use their index as the key, so runs
+// with the same experiment list line up element by element.
+func flatten(prefix string, v any, out map[string]float64) {
+	switch t := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			flatten(join(prefix, k), t[k], out)
+		}
+	case []any:
+		for i, e := range t {
+			flatten(join(prefix, strconv.Itoa(i)), e, out)
+		}
+	case float64:
+		out[prefix] = t
+	case bool:
+		// Booleans drift too (a recovery check flipping false matters):
+		// compare them as 0/1.
+		if t {
+			out[prefix] = 1
+		} else {
+			out[prefix] = 0
+		}
+	}
+}
+
+func join(prefix, key string) string {
+	if prefix == "" {
+		return key
+	}
+	return prefix + "." + key
+}
+
+// drift returns the relative change between a and b, symmetric in sign.
+func drift(a, b float64) float64 {
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(b-a) / den
+}

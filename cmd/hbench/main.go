@@ -7,13 +7,30 @@
 //	hbench -exp all
 //	hbench -exp fig5,fig6,table5 -sf 0.02 -cache 0.7
 //	hbench -exp txnscale -workers 1,2,4,8 -json metrics.json
+//	hbench -exp iosched -trace trace.json -metrics
 //
 // Experiments: fig4, fig5, table4, fig6, table5, table6, fig9, table7,
-// fig11 (includes table8), table9, fig12, oltp, iosched, txnscale, all.
+// fig11 (includes table8), table9, fig12, oltp, iosched, txnscale,
+// tenants, all.
 //
 // With -json, every experiment's structured results are also written to
-// the given file as one JSON document keyed by experiment id, so
-// successive runs can be compared mechanically (a bench trajectory).
+// the given file as one versioned JSON document (schema "hbench/v1")
+// keyed by experiment id, so successive runs can be compared
+// mechanically (see cmd/benchdiff).
+//
+// With -trace, every layer of the run — I/O scheduler queueing, device
+// service, buffer pool miss fills, lock waits, WAL flushes and
+// checkpoints, group commits — records spans on the simulated clock into
+// a bounded ring buffer, written at exit as Chrome trace-event JSON
+// (load it in Perfetto or chrome://tracing). -tracecap bounds the ring;
+// -tracesample 1/N-samples the per-request spans. Traces of a
+// fixed-seed run are deterministic when every request is sampled
+// (-tracesample 1, the default).
+//
+// With -metrics, the full metrics registry — dotted-name counters,
+// gauges, and latency histograms from all layers — is dumped to stdout
+// after the experiments finish, and embedded in the -json document when
+// both are given.
 package main
 
 import (
@@ -27,7 +44,20 @@ import (
 
 	"hstoragedb/internal/dss"
 	"hstoragedb/internal/experiments"
+	"hstoragedb/internal/obs"
 )
+
+// benchSchema versions the -json document layout. Bump it when the
+// top-level shape changes; cmd/benchdiff refuses files it doesn't know.
+const benchSchema = "hbench/v1"
+
+// benchFile is the versioned -json document.
+type benchFile struct {
+	Schema      string             `json:"schema"`
+	Config      experiments.Config `json:"config"`
+	Experiments map[string]any     `json:"experiments"`
+	Metrics     map[string]any     `json:"metrics,omitempty"`
+}
 
 func main() {
 	log.SetFlags(0)
@@ -42,8 +72,39 @@ func main() {
 	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts for the txnscale experiment")
 	tenantsFlag := flag.String("tenants", "4,2,1,1", "comma-separated tenant weights for the tenants experiment (tenant IDs 1..n)")
 	scanBlocks := flag.Int("scanblocks", 3000, "per-tenant scan-stream demand in blocks for the tenants experiment")
-	jsonPath := flag.String("json", "", "write per-experiment metrics to this file as JSON")
+	jsonPath := flag.String("json", "", "write per-experiment metrics to this file as versioned JSON (schema hbench/v1)")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file of every layer's spans (open in Perfetto)")
+	traceCap := flag.Int("tracecap", 0, "trace ring-buffer capacity in spans (0 = default 65536; oldest spans drop first)")
+	traceSample := flag.Int("tracesample", 1, "record per-request spans for 1 in N requests (1 = all; >1 trades fidelity for memory)")
+	metricsDump := flag.Bool("metrics", false, "dump the metrics registry (counters, gauges, histograms) to stdout after the run")
 	flag.Parse()
+
+	traceSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "trace" {
+			traceSet = true
+		}
+	})
+	if traceSet && *tracePath == "" {
+		log.Fatal("-trace needs an output path, e.g. -trace trace.json")
+	}
+	if *tracePath == "" && (*traceCap != 0 || *traceSample != 1) {
+		log.Fatal("-tracecap/-tracesample only make sense with -trace")
+	}
+	if *traceSample < 1 {
+		log.Fatal("-tracesample must be >= 1")
+	}
+
+	// The observability set is shared by every instance the experiments
+	// build: the registry accumulates across experiments, the tracer
+	// keeps the most recent spans up to its capacity.
+	var set *obs.Set
+	if *tracePath != "" || *metricsDump {
+		set = &obs.Set{Reg: obs.NewRegistry()}
+		if *tracePath != "" {
+			set.Tracer = obs.NewTracer(obs.TraceConfig{Capacity: *traceCap, SampleEvery: *traceSample})
+		}
+	}
 
 	cfg := experiments.Config{
 		SF:              *sf,
@@ -51,6 +112,7 @@ func main() {
 		BufferPoolRatio: *bp,
 		WorkMem:         *workMem,
 		Seed:            *seed,
+		Obs:             set,
 	}
 
 	workers, err := parseWorkers(*workersFlag)
@@ -79,7 +141,7 @@ func main() {
 	fmt.Printf("loaded: %d data pages (%.1f MB)\n\n", env.Data, float64(env.Data)*8/1024)
 
 	// metrics accumulates each experiment's structured results for -json.
-	metrics := map[string]any{"config": cfg}
+	metrics := map[string]any{}
 
 	ran := false
 	run := func(id string, f func() (any, error)) {
@@ -239,8 +301,34 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *metricsDump {
+		fmt.Println("metrics registry:")
+		fmt.Print(set.Reg.Format())
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatalf("-trace: %v", err)
+		}
+		if err := set.Tracer.WriteChromeTrace(f); err != nil {
+			log.Fatalf("-trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("-trace: %v", err)
+		}
+		if n := set.Tracer.Dropped(); n > 0 {
+			fmt.Printf("trace written to %s (%d spans; ring overflowed, oldest %d dropped — raise -tracecap)\n",
+				*tracePath, set.Tracer.Len(), n)
+		} else {
+			fmt.Printf("trace written to %s (%d spans)\n", *tracePath, set.Tracer.Len())
+		}
+	}
 	if *jsonPath != "" {
-		buf, err := json.MarshalIndent(metrics, "", "  ")
+		doc := benchFile{Schema: benchSchema, Config: cfg, Experiments: metrics}
+		if *metricsDump {
+			doc.Metrics = set.Reg.JSONSnapshot()
+		}
+		buf, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			log.Fatalf("-json: marshal: %v", err)
 		}

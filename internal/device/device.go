@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"hstoragedb/internal/obs"
 	"hstoragedb/internal/simclock"
 )
 
@@ -113,109 +114,13 @@ func Intel320() Spec {
 	}
 }
 
-// latBuckets are the upper bounds of the latency histogram buckets. The
-// last implicit bucket is +Inf. The spacing is roughly logarithmic, wide
-// enough to separate an SSD cache hit (~tens of microseconds) from a
-// queued HDD random access (~tens of milliseconds).
-var latBuckets = [...]time.Duration{
-	20 * time.Microsecond, 50 * time.Microsecond, 100 * time.Microsecond,
-	200 * time.Microsecond, 500 * time.Microsecond,
-	time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
-	10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond,
-	100 * time.Millisecond, 200 * time.Millisecond, 500 * time.Millisecond,
-	time.Second, 2 * time.Second, 5 * time.Second,
-}
-
 // LatencyHist is a fixed-bucket latency histogram for one request class.
 // It records end-to-end request latency: queueing delay plus service
-// time, as observed by the I/O scheduler that granted the request.
-type LatencyHist struct {
-	// Buckets counts requests whose latency was at most the matching
-	// entry of the bucket-bound table; the final slot counts overflows.
-	Buckets [len(latBuckets) + 1]int64
-	// Count, Sum and Max summarize the recorded latencies exactly.
-	Count int64
-	Sum   time.Duration
-	Max   time.Duration
-}
-
-// Observe records one latency sample.
-func (h *LatencyHist) Observe(lat time.Duration) {
-	if lat < 0 {
-		lat = 0
-	}
-	i := 0
-	for i < len(latBuckets) && lat > latBuckets[i] {
-		i++
-	}
-	h.Buckets[i]++
-	h.Count++
-	h.Sum += lat
-	if lat > h.Max {
-		h.Max = lat
-	}
-}
-
-// Merge folds another histogram into h (used to combine the SSD and HDD
-// views of one class).
-func (h *LatencyHist) Merge(o LatencyHist) {
-	for i := range h.Buckets {
-		h.Buckets[i] += o.Buckets[i]
-	}
-	h.Count += o.Count
-	h.Sum += o.Sum
-	if o.Max > h.Max {
-		h.Max = o.Max
-	}
-}
-
-// Mean returns the average recorded latency.
-func (h *LatencyHist) Mean() time.Duration {
-	if h.Count == 0 {
-		return 0
-	}
-	return h.Sum / time.Duration(h.Count)
-}
-
-// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
-// inside the bucket that contains it. The estimate for the overflow
-// bucket is the recorded maximum.
-func (h *LatencyHist) Quantile(q float64) time.Duration {
-	if h.Count == 0 {
-		return 0
-	}
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
-	}
-	rank := q * float64(h.Count)
-	var cum float64
-	for i, n := range h.Buckets {
-		cum += float64(n)
-		if cum < rank || n == 0 {
-			continue
-		}
-		if i >= len(latBuckets) {
-			return h.Max
-		}
-		lo := time.Duration(0)
-		if i > 0 {
-			lo = latBuckets[i-1]
-		}
-		hi := latBuckets[i]
-		if hi > h.Max {
-			hi = h.Max
-		}
-		if hi < lo {
-			return lo
-		}
-		frac := 1 - (cum-rank)/float64(n)
-		return lo + time.Duration(frac*float64(hi-lo))
-	}
-	return h.Max
-}
+// time, as observed by the I/O scheduler that granted the request. It is
+// the shared observability histogram (the bucket ladder and quantile
+// interpolation originated here and moved to package obs when the
+// metrics registry unified telemetry across layers).
+type LatencyHist = obs.Histogram
 
 // Stats are cumulative counters for one device.
 type Stats struct {
@@ -261,6 +166,20 @@ type Device struct {
 	stats       Stats
 	hists       map[int]*LatencyHist
 	tenantHists map[int]*LatencyHist
+
+	// Registry instruments, nil (inert) until Use attaches a set. The
+	// scalar instruments are cached here; per-class and per-tenant
+	// histogram mirrors are cached in the maps to keep the hot path to
+	// one registry lookup per new key.
+	reg         *obs.Registry
+	mReads      *obs.Counter
+	mWrites     *obs.Counter
+	mBlocksRead *obs.Counter
+	mBlocksWr   *obs.Counter
+	mBusyTime   *obs.Counter
+	mBusy       *obs.Gauge
+	mClassLat   map[int]*obs.HistVar
+	mTenantLat  map[int]*obs.HistVar
 }
 
 // New creates a device from a spec.
@@ -282,6 +201,64 @@ func New(spec Spec) *Device {
 
 // Spec returns the device's performance parameters.
 func (d *Device) Spec() Spec { return d.spec }
+
+// Use attaches an observability set: the device registers its counters
+// (`device.reads`, `device.writes`, `device.blocks.read`,
+// `device.blocks.write`, `device.busytime`), the `device.busy` gauge
+// (the busy horizon in simulated nanoseconds), and per-class/per-tenant
+// mirrors of its latency histograms (`device.latency`), all labeled
+// with the device name. A nil set detaches.
+func (d *Device) Use(set *obs.Set) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	reg := set.Registry()
+	d.reg = reg
+	if reg == nil {
+		d.mReads, d.mWrites, d.mBlocksRead, d.mBlocksWr = nil, nil, nil, nil
+		d.mBusyTime, d.mBusy = nil, nil
+		d.mClassLat, d.mTenantLat = nil, nil
+		return
+	}
+	dev := obs.L("dev", d.spec.Name)
+	d.mReads = reg.Counter("device.reads", dev)
+	d.mWrites = reg.Counter("device.writes", dev)
+	d.mBlocksRead = reg.Counter("device.blocks.read", dev)
+	d.mBlocksWr = reg.Counter("device.blocks.write", dev)
+	d.mBusyTime = reg.Counter("device.busytime", dev)
+	d.mBusy = reg.Gauge("device.busy", dev)
+	d.mClassLat = make(map[int]*obs.HistVar)
+	d.mTenantLat = make(map[int]*obs.HistVar)
+}
+
+// classLatLocked returns (caching on first use) the registry mirror of
+// the per-class latency histogram. Caller holds d.mu.
+func (d *Device) classLatLocked(class int) *obs.HistVar {
+	if d.reg == nil {
+		return nil
+	}
+	hv := d.mClassLat[class]
+	if hv == nil {
+		hv = d.reg.Histogram("device.latency",
+			obs.L("dev", d.spec.Name), obs.LInt("class", int64(class)))
+		d.mClassLat[class] = hv
+	}
+	return hv
+}
+
+// tenantLatLocked returns (caching on first use) the registry mirror of
+// the per-tenant latency histogram. Caller holds d.mu.
+func (d *Device) tenantLatLocked(tenant int) *obs.HistVar {
+	if d.reg == nil {
+		return nil
+	}
+	hv := d.mTenantLat[tenant]
+	if hv == nil {
+		hv = d.reg.Histogram("device.latency",
+			obs.L("dev", d.spec.Name), obs.LInt("tenant", int64(tenant)))
+		d.mTenantLat[tenant] = hv
+	}
+	return hv
+}
 
 // serviceTime computes the positioning and transfer components of an
 // access of `blocks` blocks at `lba`, and updates the
@@ -311,9 +288,13 @@ func (d *Device) serviceTime(op Op, lba int64, blocks int) (pos, xfer time.Durat
 	case Read:
 		d.stats.Reads++
 		d.stats.BlocksRead += int64(blocks)
+		d.mReads.Inc()
+		d.mBlocksRead.Add(int64(blocks))
 	case Write:
 		d.stats.Writes++
 		d.stats.BlocksWrite += int64(blocks)
+		d.mWrites.Inc()
+		d.mBlocksWr.Add(int64(blocks))
 	}
 	d.mu.Unlock()
 
@@ -340,6 +321,7 @@ func (d *Device) serviceTime(op Op, lba int64, blocks int) (pos, xfer time.Durat
 	}
 	d.mu.Lock()
 	d.stats.BusyTime += pos + xfer
+	d.mBusyTime.Add(int64(pos + xfer))
 	d.mu.Unlock()
 	return pos, xfer
 }
@@ -373,10 +355,22 @@ func (d *Device) Access(at time.Duration, op Op, lba int64, blocks int) time.Dur
 		return at
 	}
 	pos, xfer := d.serviceTime(op, lba, blocks)
+	var end time.Duration
 	if d.bw == nil {
-		return d.res[0].Serve(at, pos+xfer)
+		end = d.res[0].Serve(at, pos+xfer)
+	} else {
+		end = d.bw.Serve(d.channelFor().Serve(at, pos), xfer)
 	}
-	return d.bw.Serve(d.channelFor().Serve(at, pos), xfer)
+	d.busyGauge().SetMax(int64(end))
+	return end
+}
+
+// busyGauge fetches the device.busy gauge under the device lock so a
+// concurrent Use cannot race the read.
+func (d *Device) busyGauge() *obs.Gauge {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.mBusy
 }
 
 // AccessBackground schedules work that no requester waits on (asynchronous
@@ -387,10 +381,14 @@ func (d *Device) AccessBackground(at time.Duration, op Op, lba int64, blocks int
 		return at
 	}
 	pos, xfer := d.serviceTime(op, lba, blocks)
+	var end time.Duration
 	if d.bw == nil {
-		return d.res[0].ServeBackground(at, pos+xfer)
+		end = d.res[0].ServeBackground(at, pos+xfer)
+	} else {
+		end = d.bw.ServeBackground(d.channelFor().ServeBackground(at, pos), xfer)
 	}
-	return d.bw.ServeBackground(d.channelFor().ServeBackground(at, pos), xfer)
+	d.busyGauge().SetMax(int64(end))
+	return end
 }
 
 // AccessQueued is the queue-aware submission API used by the I/O
@@ -449,7 +447,9 @@ func (d *Device) ObserveLatency(class int, lat time.Duration) {
 		d.hists[class] = h
 	}
 	h.Observe(lat)
+	hv := d.classLatLocked(class)
 	d.mu.Unlock()
+	hv.Observe(lat)
 }
 
 // ObserveTenantLatency records one end-to-end request latency for a
@@ -467,7 +467,9 @@ func (d *Device) ObserveTenantLatency(tenant int, lat time.Duration) {
 		d.tenantHists[tenant] = h
 	}
 	h.Observe(lat)
+	hv := d.tenantLatLocked(tenant)
 	d.mu.Unlock()
+	hv.Observe(lat)
 }
 
 // Stats returns a snapshot of the device counters, including per-class

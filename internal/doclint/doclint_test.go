@@ -26,6 +26,7 @@ var auditedPackages = []string{
 	"internal/engine/lockmgr",
 	"internal/engine/policy",
 	"internal/engine/wal",
+	"internal/obs",
 }
 
 // hasDoc reports whether a doc comment is present and non-trivial.

@@ -41,6 +41,7 @@ import (
 
 	"hstoragedb/internal/engine/policy"
 	"hstoragedb/internal/engine/storagemgr"
+	"hstoragedb/internal/obs"
 	"hstoragedb/internal/pagestore"
 	"hstoragedb/internal/simclock"
 )
@@ -126,6 +127,14 @@ type Pool struct {
 
 	txnMu sync.RWMutex
 	txns  map[*simclock.Clock]*TxnHooks
+
+	// Registry instruments and tracer, nil (inert) until Use attaches a
+	// set.
+	tracer *obs.Tracer
+	mHit   *obs.Counter
+	mMiss  *obs.Counter
+	mEvict *obs.Counter
+	mWB    *obs.Counter
 }
 
 // New creates a pool with capacity `frames` pages over the given storage
@@ -147,6 +156,25 @@ func New(mgr *storagemgr.Manager, frames int) *Pool {
 
 // Manager exposes the storage manager beneath the pool.
 func (p *Pool) Manager() *storagemgr.Manager { return p.mgr }
+
+// Use attaches an observability set: the pool registers its counters
+// (`bufferpool.hit`, `bufferpool.miss`, `bufferpool.evictions`,
+// `bufferpool.writeback`) and records a `bufferpool`/`miss.fill` span
+// for every sampled miss fill. A nil set detaches.
+func (p *Pool) Use(set *obs.Set) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tracer = set.Trace()
+	reg := set.Registry()
+	if reg == nil {
+		p.mHit, p.mMiss, p.mEvict, p.mWB = nil, nil, nil, nil
+		return
+	}
+	p.mHit = reg.Counter("bufferpool.hit")
+	p.mMiss = reg.Counter("bufferpool.miss")
+	p.mEvict = reg.Counter("bufferpool.evictions")
+	p.mWB = reg.Counter("bufferpool.writeback")
+}
 
 // BindTxn associates transaction hooks with a session stream: every
 // Get/Put carrying clk runs the hooks until UnbindTxn. One stream runs
@@ -243,9 +271,11 @@ func (p *Pool) evictOne(clk *simclock.Clock) (bool, error) {
 		p.unlink(lru)
 		delete(p.table, lru.key)
 		p.stats.Evictions++
+		p.mEvict.Inc()
 		return true, nil
 	}
 	p.stats.WriteBack++
+	p.mWB.Inc()
 	lru.flushing = true
 	p.nflushing++
 	tag := policy.Tag{Object: lru.key.obj, Content: lru.content}
@@ -279,6 +309,7 @@ func (p *Pool) evictOne(clk *simclock.Clock) (bool, error) {
 	p.unlink(lru)
 	delete(p.table, lru.key)
 	p.stats.Evictions++
+	p.mEvict.Inc()
 	return true, err
 }
 
@@ -315,20 +346,28 @@ func (p *Pool) Get(clk *simclock.Clock, tag policy.Tag, page int64) ([]byte, err
 	if e, ok := p.table[k]; ok {
 		p.touch(e)
 		p.stats.Hits++
+		p.mHit.Inc()
 		data := e.data
 		p.mu.Unlock()
 		return data, nil
 	}
 	p.stats.Misses++
+	p.mMiss.Inc()
+	tr := p.tracer
 	if err := p.makeRoom(clk); err != nil {
 		p.mu.Unlock()
 		return nil, err
 	}
 	p.mu.Unlock()
 
+	fillStart := clk.Now()
 	data, err := p.mgr.ReadPage(clk, tag, page)
 	if err != nil {
 		return nil, err
+	}
+	if tr.SampleRequest() {
+		tr.Span("bufferpool", "miss.fill", clk.ID(), fillStart, clk.Now()-fillStart,
+			map[string]any{"obj": int64(tag.Object), "page": page})
 	}
 
 	p.mu.Lock()
@@ -417,6 +456,7 @@ func (p *Pool) FlushAll(clk *simclock.Clock) error {
 			e.dirty = false
 		}
 		p.stats.WriteBack++
+		p.mWB.Inc()
 		p.mu.Unlock()
 	}
 	return nil

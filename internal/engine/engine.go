@@ -9,6 +9,7 @@ package engine
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"hstoragedb/internal/dss"
@@ -20,6 +21,7 @@ import (
 	"hstoragedb/internal/engine/policy"
 	"hstoragedb/internal/engine/storagemgr"
 	"hstoragedb/internal/hybrid"
+	"hstoragedb/internal/obs"
 	"hstoragedb/internal/pagestore"
 	"hstoragedb/internal/simclock"
 )
@@ -49,6 +51,11 @@ type InstanceConfig struct {
 	// DisableLogClass strips the log classification from WAL traffic
 	// (ablation: log writes are delivered as ordinary Rule 4 updates).
 	DisableLogClass bool
+	// Obs optionally attaches an observability set (metrics registry +
+	// tracer). It is forwarded to the storage system (scheduler and
+	// devices) and the buffer pool; engine-side layers built later (lock
+	// manager, WAL, transactions) attach through txn.Manager.Use.
+	Obs *obs.Set
 }
 
 // DefaultInstanceConfig returns a laptop-scale configuration: hStorage
@@ -69,7 +76,10 @@ type Instance struct {
 	Sys  hybrid.System
 	Mgr  *storagemgr.Manager
 	Pool *bufferpool.Pool
+	Obs  *obs.Set
 	cfg  InstanceConfig
+
+	nextSID atomic.Int64
 }
 
 // NewDatabase creates an empty database.
@@ -85,6 +95,7 @@ func (db *Database) NewInstance(cfg InstanceConfig) (*Instance, error) {
 	if cfg.WorkMem <= 0 {
 		cfg.WorkMem = 4096
 	}
+	cfg.Storage.Obs = cfg.Obs
 	sys, err := hybrid.New(cfg.Storage)
 	if err != nil {
 		return nil, err
@@ -99,7 +110,8 @@ func (db *Database) NewInstance(cfg InstanceConfig) (*Instance, error) {
 	mgr := storagemgr.New(db.Store, sys, table)
 	mgr.DisableTrim = cfg.DisableTrim
 	pool := bufferpool.New(mgr, cfg.BufferPoolPages)
-	return &Instance{DB: db, Sys: sys, Mgr: mgr, Pool: pool, cfg: cfg}, nil
+	pool.Use(cfg.Obs)
+	return &Instance{DB: db, Sys: sys, Mgr: mgr, Pool: pool, Obs: cfg.Obs, cfg: cfg}, nil
 }
 
 // Config returns the instance configuration.
@@ -113,9 +125,13 @@ type Session struct {
 	Clk  simclock.Clock
 }
 
-// NewSession starts a stream at virtual time zero.
+// NewSession starts a stream at virtual time zero. Sessions are
+// numbered in creation order; the number becomes the session clock's ID,
+// which traces use as the track a request's spans land on.
 func (inst *Instance) NewSession() *Session {
-	return &Session{inst: inst}
+	s := &Session{inst: inst}
+	s.Clk.SetID(inst.nextSID.Add(1))
+	return s
 }
 
 // BindTenant attributes every storage request this session issues —

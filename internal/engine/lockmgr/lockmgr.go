@@ -29,7 +29,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"hstoragedb/internal/obs"
 	"hstoragedb/internal/pagestore"
 )
 
@@ -104,6 +106,16 @@ type Manager struct {
 	waits map[int64]map[int64]struct{} // txn -> txns it waits behind
 	blkd  map[int64]*blocked           // txn -> its blocked request
 	stats Stats
+
+	// Registry instruments and tracer, nil (inert) until Use attaches a
+	// set. Lock waits block real goroutines but consume no simulated
+	// time, so the `lockmgr`/`wait` trace event is an instant stamped at
+	// the virtual time AcquireAt is handed.
+	tracer     *obs.Tracer
+	mAcquired  *obs.Counter
+	mWaits     *obs.Counter
+	mDeadlocks *obs.Counter
+	mUpgrades  *obs.Counter
 }
 
 // blocked pairs a waiter with the lock it queues on, so a victim can be
@@ -123,6 +135,26 @@ func New() *Manager {
 	}
 }
 
+// Use attaches an observability set: the manager registers its counters
+// (`lockmgr.acquired`, `lockmgr.wait`, `lockmgr.deadlocks`,
+// `lockmgr.upgrades`) and records a `lockmgr`/`wait` instant for every
+// request that blocks (AcquireAt callers only — plain Acquire has no
+// virtual timestamp to stamp it with). A nil set detaches.
+func (m *Manager) Use(set *obs.Set) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tracer = set.Trace()
+	reg := set.Registry()
+	if reg == nil {
+		m.mAcquired, m.mWaits, m.mDeadlocks, m.mUpgrades = nil, nil, nil, nil
+		return
+	}
+	m.mAcquired = reg.Counter("lockmgr.acquired")
+	m.mWaits = reg.Counter("lockmgr.wait")
+	m.mDeadlocks = reg.Counter("lockmgr.deadlocks")
+	m.mUpgrades = reg.Counter("lockmgr.upgrades")
+}
+
 // Acquire takes a lock on id in the given mode on behalf of txn,
 // blocking until granted. Re-acquiring a held lock (same or weaker mode)
 // returns immediately; holding Shared and requesting Exclusive upgrades.
@@ -130,6 +162,15 @@ func New() *Manager {
 // acquiring anything; the transaction keeps its other locks and is
 // expected to abort.
 func (m *Manager) Acquire(txn int64, id PageID, mode Mode) error {
+	return m.AcquireAt(txn, id, mode, -1)
+}
+
+// AcquireAt is Acquire with the caller's current virtual time attached,
+// so a blocked request can be traced as a `lockmgr`/`wait` instant on
+// the simulated timeline (lock waits consume no virtual time — the
+// contention's cost is paid at the devices when the work retries). Pass
+// a negative at to skip the trace event.
+func (m *Manager) AcquireAt(txn int64, id PageID, mode Mode, at time.Duration) error {
 	m.mu.Lock()
 	ls := m.locks[id]
 	if ls == nil {
@@ -140,6 +181,7 @@ func (m *Manager) Acquire(txn int64, id PageID, mode Mode) error {
 	if have, ok := ls.holders[txn]; ok {
 		if have >= mode {
 			m.stats.Acquired++
+			m.mAcquired.Inc()
 			m.mu.Unlock()
 			return nil
 		}
@@ -149,6 +191,8 @@ func (m *Manager) Acquire(txn int64, id PageID, mode Mode) error {
 			m.held[txn][id] = Exclusive
 			m.stats.Acquired++
 			m.stats.Upgrades++
+			m.mAcquired.Inc()
+			m.mUpgrades.Inc()
 			m.mu.Unlock()
 			return nil
 		}
@@ -156,28 +200,34 @@ func (m *Manager) Acquire(txn int64, id PageID, mode Mode) error {
 		// nothing behind it can be granted first anyway.
 		w := &waiter{txn: txn, mode: Exclusive, upgrade: true, done: make(chan error, 1)}
 		ls.queue = append([]*waiter{w}, ls.queue...)
-		return m.blockOn(w, id, ls)
+		return m.blockOn(w, id, ls, at)
 	}
 
 	if m.grantableLocked(ls, txn, mode) {
 		ls.holders[txn] = mode
 		m.noteHeld(txn, id, mode)
 		m.stats.Acquired++
+		m.mAcquired.Inc()
 		m.mu.Unlock()
 		return nil
 	}
 
 	w := &waiter{txn: txn, mode: mode, done: make(chan error, 1)}
 	ls.queue = append(ls.queue, w)
-	return m.blockOn(w, id, ls)
+	return m.blockOn(w, id, ls, at)
 }
 
 // blockOn registers the waiter in the waits-for graph, resolves any
 // cycle it creates, and parks the caller. Called with m.mu held; returns
 // with it released.
-func (m *Manager) blockOn(w *waiter, id PageID, ls *lockState) error {
+func (m *Manager) blockOn(w *waiter, id PageID, ls *lockState, at time.Duration) error {
 	m.blkd[w.txn] = &blocked{w: w, id: id}
 	m.stats.Waits++
+	m.mWaits.Inc()
+	if m.tracer != nil && at >= 0 {
+		m.tracer.Instant("lockmgr", "wait", w.txn, at, map[string]any{
+			"page": id.String(), "mode": w.mode.String()})
+	}
 	m.rebuildEdgesLocked(id, ls)
 	m.resolveDeadlocksLocked(id)
 	m.mu.Unlock()
@@ -325,6 +375,7 @@ func (m *Manager) refuseLocked(txn int64) {
 		m.grantQueueLocked(b.id, ls)
 	}
 	m.stats.Deadlocks++
+	m.mDeadlocks.Inc()
 	b.w.done <- ErrDeadlock
 }
 
@@ -341,6 +392,7 @@ func (m *Manager) grantQueueLocked(id PageID, ls *lockState) {
 			ls.holders[w.txn] = Exclusive
 			m.held[w.txn][id] = Exclusive
 			m.stats.Upgrades++
+			m.mUpgrades.Inc()
 		} else {
 			if !holdersAllow(ls, w.mode) {
 				break
@@ -352,6 +404,7 @@ func (m *Manager) grantQueueLocked(id PageID, ls *lockState) {
 		delete(m.blkd, w.txn)
 		delete(m.waits, w.txn)
 		m.stats.Acquired++
+		m.mAcquired.Inc()
 		w.done <- nil
 		changed = true
 	}

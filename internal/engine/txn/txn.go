@@ -48,6 +48,7 @@ import (
 	"hstoragedb/internal/engine/lockmgr"
 	"hstoragedb/internal/engine/policy"
 	"hstoragedb/internal/engine/wal"
+	"hstoragedb/internal/obs"
 	"hstoragedb/internal/pagestore"
 	"hstoragedb/internal/simclock"
 )
@@ -114,11 +115,41 @@ type Manager struct {
 	gcCur     *gcBatch
 	gcBatches atomic.Int64
 	gcTxns    atomic.Int64
+
+	tracer     *obs.Tracer
+	mCommits   *obs.Counter
+	mAborts    *obs.Counter
+	mBatchHist *obs.HistVar
 }
 
-// NewManager builds a transaction manager over an instance and its log.
+// NewManager builds a transaction manager over an instance and its log,
+// attaching the instance's observability set (if any) to itself, the
+// lock manager, and the WAL.
 func NewManager(inst *engine.Instance, log *wal.Manager) *Manager {
-	return &Manager{inst: inst, log: log, lm: lockmgr.New()}
+	m := &Manager{inst: inst, log: log, lm: lockmgr.New()}
+	m.Use(inst.Obs)
+	return m
+}
+
+// Use attaches an observability set: txn.commits and txn.aborts
+// counters, the wal.groupcommit.batch histogram (commits amortized per
+// log force), and a txn/groupcommit span recorded by each batch leader.
+// The set is forwarded to the lock manager and the WAL, so wiring the
+// transaction layer instruments the whole engine-side stack. NewManager
+// calls it with the instance's set; a nil set detaches. Not safe to
+// call concurrently with running transactions.
+func (m *Manager) Use(set *obs.Set) {
+	m.lm.Use(set)
+	m.log.Use(set)
+	if reg := set.Registry(); reg != nil {
+		m.tracer = set.Trace()
+		m.mCommits = reg.Counter("txn.commits")
+		m.mAborts = reg.Counter("txn.aborts")
+		m.mBatchHist = reg.HistogramWith(obs.CountBounds(), "count", "wal.groupcommit.batch")
+	} else {
+		m.tracer = nil
+		m.mCommits, m.mAborts, m.mBatchHist = nil, nil, nil
+	}
 }
 
 // WAL exposes the log manager.
@@ -277,7 +308,7 @@ func (t *Txn) acquire(tag policy.Tag, page int64, write bool) error {
 	if write {
 		mode = lockmgr.Exclusive
 	}
-	return t.m.lm.Acquire(t.id, lockmgr.PageID{Obj: tag.Object, Page: page}, mode)
+	return t.m.lm.AcquireAt(t.id, lockmgr.PageID{Obj: tag.Object, Page: page}, mode, t.sess.Clk.Now())
 }
 
 // LockAppend takes the object's append lock: an exclusive lock on a
@@ -293,7 +324,7 @@ func (t *Txn) LockAppend(obj pagestore.ObjectID) error {
 	if t.readOnly {
 		return nil
 	}
-	return t.m.lm.Acquire(t.id, lockmgr.PageID{Obj: obj, Page: -1}, lockmgr.Exclusive)
+	return t.m.lm.AcquireAt(t.id, lockmgr.PageID{Obj: obj, Page: -1}, lockmgr.Exclusive, t.sess.Clk.Now())
 }
 
 // capture is the buffer pool hook: it runs under the pool mutex for every
@@ -404,6 +435,7 @@ func (t *Txn) Commit() error {
 		return err
 	}
 	m.commits.Add(1)
+	m.mCommits.Inc()
 	m.seqMu.Unlock()
 
 	// Strict 2PL ends here: the commit record is appended, so the
@@ -454,10 +486,18 @@ func (m *Manager) groupFlush(clk *simclock.Clock, lsn wal.LSN) error {
 	m.gcCur = nil
 	maxLSN := b.maxLSN
 	m.gcMu.Unlock()
+	forceStart := clk.Now()
 	b.err = m.log.Flush(clk, maxLSN)
 	b.doneAt = clk.Now()
 	m.gcBatches.Add(1)
 	m.gcTxns.Add(int64(b.n))
+	if hv := m.mBatchHist; hv != nil {
+		hv.Observe(simclock.Duration(b.n))
+	}
+	if m.tracer != nil {
+		m.tracer.Span("txn", "groupcommit", clk.ID(), forceStart, b.doneAt-forceStart,
+			map[string]any{"txns": b.n, "lsn": int64(maxLSN)})
+	}
 	close(b.done)
 	return b.err
 }
@@ -490,6 +530,7 @@ func (t *Txn) Abort() error {
 	m.lm.ReleaseAll(t.id)
 	_, err := m.log.Append(&t.sess.Clk, wal.Record{Txn: t.id, Kind: wal.KindAbort})
 	m.aborts.Add(1)
+	m.mAborts.Inc()
 	m.gate.RUnlock()
 	return err
 }

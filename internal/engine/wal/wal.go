@@ -31,6 +31,7 @@ import (
 	"hstoragedb/internal/engine/bufferpool"
 	"hstoragedb/internal/engine/policy"
 	"hstoragedb/internal/engine/storagemgr"
+	"hstoragedb/internal/obs"
 	"hstoragedb/internal/pagestore"
 	"hstoragedb/internal/simclock"
 )
@@ -192,6 +193,33 @@ type Manager struct {
 	lastFlushDone  simclock.Duration
 
 	stats Stats
+
+	// Registry instruments and tracer, nil (inert) until Use attaches a
+	// set.
+	tracer       *obs.Tracer
+	mAppends     *obs.Counter
+	mFlushes     *obs.Counter
+	mPageWrites  *obs.Counter
+	mCheckpoints *obs.Counter
+}
+
+// Use attaches an observability set: the log manager registers its
+// counters (`wal.appends`, `wal.flushes`, `wal.pagewrites`,
+// `wal.checkpoints`) and records `wal`/`flush` and `wal`/`checkpoint`
+// spans on the simulated timeline. A nil set detaches.
+func (m *Manager) Use(set *obs.Set) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tracer = set.Trace()
+	reg := set.Registry()
+	if reg == nil {
+		m.mAppends, m.mFlushes, m.mPageWrites, m.mCheckpoints = nil, nil, nil, nil
+		return
+	}
+	m.mAppends = reg.Counter("wal.appends")
+	m.mFlushes = reg.Counter("wal.flushes")
+	m.mPageWrites = reg.Counter("wal.pagewrites")
+	m.mCheckpoints = reg.Counter("wal.checkpoints")
 }
 
 // ---- record encoding ----
@@ -350,6 +378,7 @@ func (m *Manager) Append(clk *simclock.Clock, r Record) (LSN, error) {
 	m.segBuf = appendRecord(m.segBuf, r)
 	m.segLen = len(m.segBuf)
 	m.stats.Appends++
+	m.mAppends.Inc()
 	return r.LSN, nil
 }
 
@@ -381,6 +410,7 @@ func (m *Manager) flushLocked(clk *simclock.Clock) error {
 	obj := m.segObject(m.activeSeg)
 	first := int64(m.flushedLen / pagestore.PageSize)
 	last := int64((m.segLen - 1) / pagestore.PageSize)
+	flushStart := clk.Now()
 	for p := first; p <= last; p++ {
 		lo := int(p) * pagestore.PageSize
 		hi := lo + pagestore.PageSize
@@ -391,11 +421,17 @@ func (m *Manager) flushLocked(clk *simclock.Clock) error {
 			return err
 		}
 		m.stats.PageWrites++
+		m.mPageWrites.Inc()
 	}
 	m.flushedLen = m.segLen
 	m.durableLSN = m.lastLSN
 	m.lastFlushDone = clk.Now()
 	m.stats.Flushes++
+	m.mFlushes.Inc()
+	if m.tracer != nil {
+		m.tracer.Span("wal", "flush", clk.ID(), flushStart, clk.Now()-flushStart,
+			map[string]any{"pages": last - first + 1, "durable_lsn": int64(m.durableLSN)})
+	}
 	return nil
 }
 
@@ -426,6 +462,7 @@ func (m *Manager) Flush(clk *simclock.Clock, lsn LSN) error {
 // drain barrier holds new transactions at Begin and waits out in-flight
 // ones before calling here).
 func (m *Manager) Checkpoint(clk *simclock.Clock, pool *bufferpool.Pool) error {
+	ckptStart := clk.Now()
 	if err := pool.FlushAll(clk); err != nil {
 		return err
 	}
@@ -440,12 +477,17 @@ func (m *Manager) Checkpoint(clk *simclock.Clock, pool *bufferpool.Pool) error {
 	}
 	m.checkpointLSN = lsn
 	m.stats.Checkpoints++
+	m.mCheckpoints.Inc()
 	for seq := m.oldestSeg; seq < m.activeSeg; seq++ {
 		if err := m.mgr.DeleteObject(clk, m.segObject(seq)); err != nil {
 			return err
 		}
 	}
 	m.oldestSeg = m.activeSeg
+	if m.tracer != nil {
+		m.tracer.Span("wal", "checkpoint", clk.ID(), ckptStart, clk.Now()-ckptStart,
+			map[string]any{"lsn": int64(lsn)})
+	}
 	return m.writeMeta(clk)
 }
 

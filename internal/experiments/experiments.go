@@ -12,6 +12,7 @@ import (
 	"hstoragedb/internal/engine/policy"
 	"hstoragedb/internal/engine/storagemgr"
 	"hstoragedb/internal/hybrid"
+	"hstoragedb/internal/obs"
 	"hstoragedb/internal/tpch"
 )
 
@@ -33,6 +34,10 @@ type Config struct {
 	WorkMem int
 	// Seed selects query substitution parameters.
 	Seed int64
+	// Obs optionally attaches an observability set (metrics registry and
+	// request tracer) to every instance the experiments build. Excluded
+	// from -json output: it is runtime state, not configuration.
+	Obs *obs.Set `json:"-"`
 }
 
 // DefaultConfig returns the configuration used by tests and the hbench
@@ -96,6 +101,7 @@ func (e *Env) Instance(mode hybrid.Mode) (*engine.Instance, error) {
 		BufferPoolPages: e.bpPages(),
 		WorkMem:         e.Cfg.WorkMem,
 		CPUPerTuple:     300 * time.Nanosecond,
+		Obs:             e.Cfg.Obs,
 	})
 }
 

@@ -67,6 +67,7 @@ func (e *Env) RunIOSched(mode hybrid.Mode, streams, txns int, sched bool) (IOSch
 		BufferPoolPages: e.bpPages(),
 		WorkMem:         e.Cfg.WorkMem,
 		CPUPerTuple:     300 * time.Nanosecond,
+		Obs:             e.Cfg.Obs,
 	})
 	if err != nil {
 		return run, err

@@ -56,6 +56,7 @@ func (e *Env) TxnInstance(mode hybrid.Mode, logClass bool) (*engine.Instance, er
 		WorkMem:         e.Cfg.WorkMem,
 		CPUPerTuple:     300 * time.Nanosecond,
 		DisableLogClass: !logClass,
+		Obs:             e.Cfg.Obs,
 	})
 }
 

@@ -136,6 +136,7 @@ func (e *Env) RunTenants(mode hybrid.Mode, specs []TenantSpec, scanBlocks, txnsP
 		BufferPoolPages: e.bpPages(),
 		WorkMem:         e.Cfg.WorkMem,
 		CPUPerTuple:     300 * time.Nanosecond,
+		Obs:             e.Cfg.Obs,
 	})
 	if err != nil {
 		return run, err

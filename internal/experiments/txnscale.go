@@ -75,6 +75,7 @@ func (e *Env) RunTxnScale(mode hybrid.Mode, workers, txnsPerWorker int) (TxnScal
 		BufferPoolPages: bp,
 		WorkMem:         e.Cfg.WorkMem,
 		CPUPerTuple:     300 * time.Nanosecond,
+		Obs:             e.Cfg.Obs,
 	})
 	if err != nil {
 		return run, err

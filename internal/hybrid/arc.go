@@ -56,7 +56,7 @@ type arcEntry struct {
 
 func newARCCache(cfg Config) *arcCache {
 	c := &arcCache{
-		base:       newStatsBase(ARC),
+		base:       newStatsBase(ARC, cfg.Obs),
 		ssd:        device.New(cfg.SSDSpec),
 		hdd:        device.New(cfg.HDDSpec),
 		lat:        cfg.TransportLat,
@@ -129,9 +129,11 @@ func (c *arcCache) demote(at time.Duration, e *arcEntry, ghost arcList) {
 	if e.meta.dirty {
 		c.hddS.SubmitBackground(at, device.Write, e.meta.lbn, 1, dss.ClassNone, e.meta.tenant)
 		c.base.snap.DirtyEvict++
+		c.base.mDirtyEvict.Inc()
 		e.meta.dirty = false
 	}
 	c.base.snap.Evictions++
+	c.base.mEvict.Inc()
 	c.freePBN = append(c.freePBN, e.meta.pbn)
 	c.move(e, ghost)
 }

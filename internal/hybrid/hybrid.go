@@ -15,6 +15,7 @@ import (
 	"hstoragedb/internal/device"
 	"hstoragedb/internal/dss"
 	"hstoragedb/internal/iosched"
+	"hstoragedb/internal/obs"
 )
 
 // Mode selects the storage configuration used by the evaluation
@@ -102,6 +103,12 @@ type Config struct {
 	// guarantee that scans track raw HDD speed — for warm re-reads, so
 	// it is an explicit opt-in.
 	CachePrefetched bool
+
+	// Obs attaches the observability layer to the whole storage system:
+	// the cache registers hit/miss/eviction counters (labeled by mode),
+	// and the set is forwarded to the I/O scheduler and devices
+	// (overriding any Sched.Obs). Nil disables (the default).
+	Obs *obs.Set
 }
 
 // withDefaults fills zero fields.
@@ -221,6 +228,11 @@ func New(cfg Config) (System, error) {
 	if err := cfg.Policy.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Obs != nil {
+		// One observability set serves the whole stack: the scheduler
+		// group registers its own instruments and attaches the devices.
+		cfg.Sched.Obs = cfg.Obs
+	}
 	switch cfg.Mode {
 	case HDDOnly:
 		return newPassthrough(cfg, false), nil
@@ -269,15 +281,33 @@ func submitDev(s *iosched.Scheduler, at time.Duration, req dss.Request, op devic
 	return s.Submit(at, op, lba, blocks, req.Class, req.Tenant, req.Stream)
 }
 
-// statsBase carries the counters shared by all System implementations.
+// statsBase carries the counters shared by all System implementations,
+// plus their registry mirrors (`cache.hits`, `cache.misses`,
+// `cache.evictions`, `cache.evictions.dirty`, `cache.evictions.share`,
+// labeled by mode; nil and inert without Config.Obs).
 type statsBase struct {
 	mode     Mode
 	perClass map[dss.Class]*ClassStats
 	snap     Snapshot
+
+	mHits       *obs.Counter
+	mMisses     *obs.Counter
+	mEvict      *obs.Counter
+	mDirtyEvict *obs.Counter
+	mShareEvict *obs.Counter
 }
 
-func newStatsBase(mode Mode) statsBase {
-	return statsBase{mode: mode, perClass: make(map[dss.Class]*ClassStats)}
+func newStatsBase(mode Mode, set *obs.Set) statsBase {
+	sb := statsBase{mode: mode, perClass: make(map[dss.Class]*ClassStats)}
+	if reg := set.Registry(); reg != nil {
+		l := obs.L("mode", mode.String())
+		sb.mHits = reg.Counter("cache.hits", l)
+		sb.mMisses = reg.Counter("cache.misses", l)
+		sb.mEvict = reg.Counter("cache.evictions", l)
+		sb.mDirtyEvict = reg.Counter("cache.evictions.dirty", l)
+		sb.mShareEvict = reg.Counter("cache.evictions.share", l)
+	}
+	return sb
 }
 
 func (s *statsBase) classStats(c dss.Class) *ClassStats {
@@ -303,6 +333,8 @@ func (s *statsBase) record(c dss.Class, op device.Op, blocks int, hits int64) {
 	}
 	s.snap.Hits += hits
 	s.snap.Misses += int64(blocks) - hits
+	s.mHits.Add(hits)
+	s.mMisses.Add(int64(blocks) - hits)
 }
 
 func (s *statsBase) snapshot(cached int) Snapshot {

@@ -40,7 +40,7 @@ type lruCache struct {
 
 func newLRUCache(cfg Config) *lruCache {
 	c := &lruCache{
-		base:       newStatsBase(LRU),
+		base:       newStatsBase(LRU, cfg.Obs),
 		ssd:        device.New(cfg.SSDSpec),
 		hdd:        device.New(cfg.HDDSpec),
 		lat:        cfg.TransportLat,
@@ -99,8 +99,10 @@ func (c *lruCache) access(at time.Duration, req dss.Request, lbn int64) (time.Du
 			// the write-back goes out unclassified.
 			c.hddS.SubmitBackground(at, device.Write, victim.lbn, 1, dss.ClassNone, victim.tenant)
 			c.base.snap.DirtyEvict++
+			c.base.mDirtyEvict.Inc()
 		}
 		c.base.snap.Evictions++
+		c.base.mEvict.Inc()
 		c.stack.remove(victim)
 		delete(c.table, victim.lbn)
 		c.freePBN = append(c.freePBN, victim.pbn)

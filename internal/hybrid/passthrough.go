@@ -36,7 +36,7 @@ func newPassthrough(cfg Config, ssd bool) *passthrough {
 		mode = SSDOnly
 	}
 	p := &passthrough{
-		base: newStatsBase(mode),
+		base: newStatsBase(mode, cfg.Obs),
 		dev:  device.New(spec),
 		ssd:  ssd,
 		lat:  cfg.TransportLat,

@@ -68,7 +68,7 @@ type priorityCache struct {
 
 func newPriorityCache(cfg Config) *priorityCache {
 	c := &priorityCache{
-		base:       newStatsBase(HStorage),
+		base:       newStatsBase(HStorage, cfg.Obs),
 		ssd:        device.New(cfg.SSDSpec),
 		hdd:        device.New(cfg.HDDSpec),
 		pol:        cfg.Policy,
@@ -558,6 +558,7 @@ func (c *priorityCache) pickVictimLocked(g *lruList) *blockMeta {
 		if over(b.tenant) {
 			if b != lru {
 				c.base.snap.ShareEvictions++
+				c.base.mShareEvict.Inc()
 			}
 			return b
 		}
@@ -572,8 +573,10 @@ func (c *priorityCache) evict(at time.Duration, meta *blockMeta) {
 	if meta.dirty {
 		c.hddS.SubmitBackground(at, device.Write, meta.lbn, 1, groupClass(meta.class), meta.tenant)
 		c.base.snap.DirtyEvict++
+		c.base.mDirtyEvict.Inc()
 	}
 	c.base.snap.Evictions++
+	c.base.mEvict.Inc()
 	if meta.class == wbGroup {
 		c.wbBlocks--
 	}

@@ -73,6 +73,7 @@ import (
 
 	"hstoragedb/internal/device"
 	"hstoragedb/internal/dss"
+	"hstoragedb/internal/obs"
 	"hstoragedb/internal/simclock"
 )
 
@@ -132,6 +133,12 @@ type Config struct {
 	// class-only scheduler, which is also the tenants experiment's
 	// baseline arm.
 	TenantWeights map[dss.TenantID]float64
+
+	// Obs attaches the observability layer: schedulers register their
+	// counters and the `iosched.band.wait` histograms, and sampled
+	// submissions record queue-wait and device-service spans on the
+	// simulated timeline. Nil disables both (the default).
+	Obs *obs.Set
 }
 
 // Sentinels for the Config knobs whose zero value means "use the
@@ -228,6 +235,11 @@ type waiter struct {
 	tenant     dss.TenantID
 	barrier    bool
 	done       chan struct{}
+
+	// trace marks a submission admitted by the tracer's sampling gate;
+	// tid is the submitting stream's trace track (its clock ID).
+	trace bool
+	tid   int64
 }
 
 // request is one schedulable unit: a chunk of a foreground submission or
@@ -328,11 +340,14 @@ type Group struct {
 	// tenantW holds the configured tenant fair-share weights; empty
 	// means fair sharing is off (see tenantfair.go).
 	tenantW map[dss.TenantID]float64
+
+	// obs is the attached observability set (nil-safe throughout).
+	obs *obs.Set
 }
 
 // NewGroup creates an empty scheduling domain.
 func NewGroup(cfg Config) *Group {
-	g := &Group{cfg: cfg.withDefaults(), registered: make(map[*simclock.Clock]struct{})}
+	g := &Group{cfg: cfg.withDefaults(), registered: make(map[*simclock.Clock]struct{}), obs: cfg.Obs}
 	for id, w := range cfg.TenantWeights {
 		if w > 0 {
 			if g.tenantW == nil {
@@ -354,10 +369,57 @@ func (g *Group) Attach(dev *device.Device, seqClass dss.Class) *Scheduler {
 	if g.cfg.Readahead > 0 && !g.cfg.FIFO && seqClass != NoReadahead {
 		s.ra = make(map[int64]time.Duration)
 	}
+	if reg := g.obs.Registry(); reg != nil {
+		dev.Use(g.obs)
+		l := obs.L("dev", dev.Spec().Name)
+		s.mSubmitted = reg.Counter("iosched.submitted", l)
+		s.mGranted = reg.Counter("iosched.granted", l)
+		s.mCoalesced = reg.Counter("iosched.coalesced", l)
+		s.mBoosted = reg.Counter("iosched.boosted", l)
+		s.mPrefetchHits = reg.Counter("iosched.prefetch.hits", l)
+		s.mPrefetchBlks = reg.Counter("iosched.prefetch.blocks", l)
+		s.mBgGrants = reg.Counter("iosched.background.grants", l)
+		s.mBandWait = make(map[int]*obs.HistVar)
+		s.mTenantBlocks = make(map[dss.TenantID]*obs.Counter)
+	}
 	g.mu.Lock()
 	g.scheds = append(g.scheds, s)
 	g.mu.Unlock()
 	return s
+}
+
+// bandWaitLocked returns (caching on first use) the `iosched.band.wait`
+// histogram of one class band on this device: the scheduler-imposed
+// grant delay, measured the way the aging bound measures it. Caller
+// holds g.mu.
+func (s *Scheduler) bandWaitLocked(class int) *obs.HistVar {
+	if s.mBandWait == nil {
+		return nil
+	}
+	hv := s.mBandWait[class]
+	if hv == nil {
+		hv = s.g.obs.Registry().Histogram("iosched.band.wait",
+			obs.L("dev", s.dev.Spec().Name), obs.LInt("class", int64(class)))
+		s.mBandWait[class] = hv
+	}
+	return hv
+}
+
+// tenantBlocksLocked returns (caching on first use) the
+// `iosched.tenant.blocks` counter of one tenant on this device: the
+// foreground device blocks granted to it, the fairness metric tenant
+// shares are judged by. Caller holds g.mu.
+func (s *Scheduler) tenantBlocksLocked(t dss.TenantID) *obs.Counter {
+	if s.mTenantBlocks == nil {
+		return nil
+	}
+	c := s.mTenantBlocks[t]
+	if c == nil {
+		c = s.g.obs.Registry().Counter("iosched.tenant.blocks",
+			obs.L("dev", s.dev.Spec().Name), obs.LInt("tenant", int64(t)))
+		s.mTenantBlocks[t] = c
+	}
+	return c
 }
 
 // Register enrolls a stream (identified by its session clock) into the
@@ -523,6 +585,20 @@ type Scheduler struct {
 	raOrder   []int64                 // FIFO eviction order (may hold stale keys)
 	prefetchq []Prefetched            // completions awaiting TakePrefetched
 	feed      bool                    // accumulate prefetchq (a consumer polls)
+
+	// Registry instruments, nil (inert) without Config.Obs. The
+	// per-class band-wait histograms and per-tenant block counters are
+	// cached in the maps so the grant path pays one registry lookup per
+	// new key, then plain atomics.
+	mSubmitted    *obs.Counter
+	mGranted      *obs.Counter
+	mCoalesced    *obs.Counter
+	mBoosted      *obs.Counter
+	mPrefetchHits *obs.Counter
+	mPrefetchBlks *obs.Counter
+	mBgGrants     *obs.Counter
+	mBandWait     map[int]*obs.HistVar
+	mTenantBlocks map[dss.TenantID]*obs.Counter
 }
 
 // Device returns the device this scheduler feeds.
@@ -551,6 +627,7 @@ func (s *Scheduler) Submit(at time.Duration, op device.Op, lba int64, blocks int
 	g := s.g
 	g.mu.Lock()
 	s.stats.Submitted++
+	s.mSubmitted.Inc()
 	if s.trackTenantLocked(tenant) {
 		s.acctLocked(tenant).stats.Submitted++
 	}
@@ -568,6 +645,7 @@ func (s *Scheduler) Submit(at time.Duration, op device.Op, lba int64, blocks int
 			}
 			delete(s.ra, lba)
 			s.stats.PrefetchHits++
+			s.mPrefetchHits.Inc()
 			if ready > floor {
 				floor = ready
 			}
@@ -579,12 +657,26 @@ func (s *Scheduler) Submit(at time.Duration, op device.Op, lba int64, blocks int
 			if s.trackTenantLocked(tenant) {
 				s.dev.ObserveTenantLatency(int(tenant), floor-at)
 			}
+			if tr := g.obs.Trace(); tr.SampleRequest() {
+				var tid int64
+				if stream != nil {
+					tid = stream.ID()
+				}
+				tr.Instant("iosched", "prefetch.hit", tid, at, map[string]any{
+					"dev": s.dev.Spec().Name, "lba": lba - 1, "class": int(class)})
+			}
 			g.mu.Unlock()
 			return floor
 		}
 	}
 
 	w := &waiter{done: make(chan struct{}), arrive: at, class: class, tenant: tenant}
+	if tr := g.obs.Trace(); tr.SampleRequest() {
+		w.trace = true
+		if stream != nil {
+			w.tid = stream.ID()
+		}
+	}
 	s.enqueueLocked(w, at, op, lba, blocks, class, tenant)
 	if stream != nil {
 		if _, ok := g.registered[stream]; ok {
@@ -790,6 +882,7 @@ func (s *Scheduler) pickLocked(bgOK bool) (pick int, budget bool) {
 	}
 	if overdue >= 0 && overdue != bestFg {
 		s.stats.Boosted++
+		s.mBoosted.Inc()
 		return overdue, false
 	}
 	if bestFg >= 0 {
@@ -944,6 +1037,7 @@ func (s *Scheduler) grantBestLocked(bgOK bool) bool {
 		}
 		total += p.blocks
 		s.stats.Coalesced++
+		s.mCoalesced.Inc()
 	}
 	s.grantLocked(batch, start, total, budget)
 	return true
@@ -1021,6 +1115,7 @@ func (s *Scheduler) grantLocked(batch []*request, start int64, total int, budget
 	if head.w == nil {
 		s.stats.BackgroundGrants++
 		s.stats.BackgroundBlocks += int64(total)
+		s.mBgGrants.Inc()
 	}
 	// Per-tenant accounting: each request's blocks are charged to its
 	// own tenant (a fair-share batch is tenant-pure, but the class-only
@@ -1032,12 +1127,22 @@ func (s *Scheduler) grantLocked(batch []*request, start int64, total int, budget
 		if r.vstart > s.vclock {
 			s.vclock = r.vstart
 		}
+		if r.w != nil {
+			// The band-wait histogram records the same scheduler-imposed
+			// delay the aging bound and TenantStats.MaxWait measure.
+			wait := busy - r.base
+			if wait < 0 {
+				wait = 0
+			}
+			s.bandWaitLocked(int(r.class)).Observe(wait)
+		}
 		if !s.trackTenantLocked(r.tenant) {
 			continue
 		}
 		ts := &s.acctLocked(r.tenant).stats
 		if r.w != nil {
 			ts.Blocks += int64(r.blocks)
+			s.tenantBlocksLocked(r.tenant).Add(int64(r.blocks))
 			if wait := busy - r.base; wait > ts.MaxWait {
 				ts.MaxWait = wait
 			}
@@ -1067,8 +1172,42 @@ func (s *Scheduler) grantLocked(batch []*request, start int64, total int, budget
 			s.prefetchq = append(s.prefetchq, Prefetched{LBA: base, Blocks: extra, Ready: end, Tenant: head.tenant})
 		}
 		s.stats.PrefetchBlocks += int64(extra)
+		s.mPrefetchBlks.Add(int64(extra))
 	}
 	s.stats.Granted++
+	s.mGranted.Inc()
+	if tr := s.g.obs.Trace(); tr != nil {
+		// serviceStart approximates when the device turned to this grant:
+		// the later of the batch's arrival and the busy horizon the grant
+		// was measured against. Queue-wait and service spans share the
+		// submitting stream's track so Perfetto shows the request's life
+		// end to end.
+		serviceStart := arrive
+		if busy > serviceStart {
+			serviceStart = busy
+		}
+		if serviceStart > end {
+			serviceStart = end
+		}
+		dev := s.dev.Spec().Name
+		if head.w == nil {
+			tr.Span("device", "destage", 0, serviceStart, end-serviceStart, map[string]any{
+				"dev": dev, "op": head.op.String(), "lba": start, "blocks": total})
+		}
+		for _, r := range batch {
+			if r.w == nil || !r.w.trace {
+				continue
+			}
+			qw := serviceStart - r.arrive
+			if qw < 0 {
+				qw = 0
+			}
+			tr.Span("iosched", "queue.wait", r.w.tid, r.arrive, qw, map[string]any{
+				"dev": dev, "class": int(r.class), "lba": r.lba, "blocks": r.blocks})
+			tr.Span("device", "service", r.w.tid, serviceStart, end-serviceStart, map[string]any{
+				"dev": dev, "op": head.op.String(), "blocks": total})
+		}
+	}
 	for _, r := range batch {
 		if r.w == nil {
 			continue

@@ -1,0 +1,162 @@
+package obs_test
+
+import (
+	"bytes"
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hstoragedb/internal/device"
+	"hstoragedb/internal/dss"
+	"hstoragedb/internal/hybrid"
+	"hstoragedb/internal/obs"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden trace and metrics files")
+
+// goldenRun drives a small fixed-seed workload through a full HStorage
+// storage system — priority cache, both devices, the QoS scheduler —
+// with every request sampled, and returns the Chrome trace JSON and the
+// metrics dump. Everything runs on the simulated clock from a single
+// goroutine, so two runs must agree byte for byte.
+func goldenRun(t *testing.T) ([]byte, string) {
+	t.Helper()
+	set := &obs.Set{
+		Reg:    obs.NewRegistry(),
+		Tracer: obs.NewTracer(obs.TraceConfig{SampleEvery: 1}),
+	}
+	sys, err := hybrid.New(hybrid.Config{
+		Mode:        hybrid.HStorage,
+		CacheBlocks: 128,
+		Obs:         set,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(12))
+	space := dss.DefaultPolicySpace()
+	at := time.Duration(0)
+	for i := 0; i < 80; i++ {
+		op := device.Read
+		if rng.Intn(3) == 0 {
+			op = device.Write
+		}
+		class := dss.Class(space.RandLow + rng.Intn(space.RandHigh-space.RandLow+1))
+		switch rng.Intn(8) {
+		case 0:
+			class = dss.ClassLog
+		case 1:
+			class = dss.Class(space.T) // sequential: prefetched, not cached
+		}
+		req := dss.Request{
+			Op:     op,
+			LBA:    int64(rng.Intn(1024)),
+			Blocks: 1 + rng.Intn(4),
+			Class:  class,
+		}
+		done := sys.Submit(at, req)
+		if done < at {
+			t.Fatalf("request %d completed at %v before submission at %v", i, done, at)
+		}
+		at += time.Duration(rng.Intn(300)) * time.Microsecond
+	}
+
+	var buf bytes.Buffer
+	if err := set.Tracer.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if set.Tracer.Dropped() != 0 {
+		t.Fatalf("trace ring overflowed (%d dropped): shrink the workload or raise capacity", set.Tracer.Dropped())
+	}
+	return buf.Bytes(), set.Reg.Format()
+}
+
+// Determinism contract of the tentpole: a fixed-seed workload traced
+// with every request sampled produces byte-identical trace JSON and
+// metrics dumps on every run, and they match the committed golden
+// files. Regenerate with `go test ./internal/obs -run Golden -update`.
+func TestGoldenDeterminism(t *testing.T) {
+	trace1, metrics1 := goldenRun(t)
+	trace2, metrics2 := goldenRun(t)
+	if !bytes.Equal(trace1, trace2) {
+		t.Fatal("two identical runs produced different traces")
+	}
+	if metrics1 != metrics2 {
+		t.Fatal("two identical runs produced different metrics dumps")
+	}
+
+	tracePath := filepath.Join("testdata", "golden_trace.json")
+	metricsPath := filepath.Join("testdata", "golden_metrics.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(tracePath, trace1, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(metricsPath, []byte(metrics1), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden files updated (%d trace bytes, %d metrics bytes)", len(trace1), len(metrics1))
+		return
+	}
+
+	wantTrace, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(trace1, wantTrace) {
+		t.Errorf("trace deviates from %s (%d vs %d bytes): the span stream changed; "+
+			"if intentional, regenerate with -update", tracePath, len(trace1), len(wantTrace))
+	}
+	wantMetrics, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with -update)", err)
+	}
+	if metrics1 != string(wantMetrics) {
+		t.Errorf("metrics dump deviates from %s; if intentional, regenerate with -update", metricsPath)
+	}
+}
+
+// Concurrent submissions from many goroutines must be race-clean (the
+// golden byte-compare holds only for single-threaded runs; here only
+// aggregate totals are checked).
+func TestTraceConcurrentRaceClean(t *testing.T) {
+	set := obs.NewSet()
+	sys, err := hybrid.New(hybrid.Config{Mode: hybrid.HStorage, CacheBlocks: 64, Obs: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			rng := rand.New(rand.NewSource(int64(g)))
+			at := time.Duration(0)
+			for i := 0; i < 200; i++ {
+				sys.Submit(at, dss.Request{
+					Op:     device.Read,
+					LBA:    int64(rng.Intn(512)),
+					Blocks: 1,
+					Class:  dss.Class(2 + rng.Intn(5)),
+				})
+				at += time.Duration(rng.Intn(100)) * time.Microsecond
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if set.Tracer.Len() == 0 {
+		t.Fatal("no spans recorded")
+	}
+	reads := set.Reg.Counter("iosched.submitted", obs.L("dev", "intel-320")).Value() +
+		set.Reg.Counter("iosched.submitted", obs.L("dev", "cheetah-15k7")).Value()
+	if reads == 0 {
+		t.Fatal("no submissions counted")
+	}
+}

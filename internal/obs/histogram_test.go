@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// Exact quantiles on a uniform distribution over hand-picked bounds:
+// with 10 samples in each of four equal buckets, the interpolated
+// quantiles land exactly on the bucket edges.
+func TestQuantileUniform(t *testing.T) {
+	h := NewHistogram([]time.Duration{10, 20, 30, 40})
+	for v := time.Duration(1); v <= 40; v++ {
+		h.Observe(v)
+	}
+	if h.Count != 40 {
+		t.Fatalf("count = %d, want 40", h.Count)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.25, 10},
+		{0.50, 20},
+		{0.75, 30},
+		{1.00, 40},
+	} {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := h.Mean(); got != 20 { // (1+...+40)/40 = 20.5 truncated
+		t.Errorf("Mean = %v, want 20", got)
+	}
+}
+
+// Interpolation inside one bucket: the bucket's upper bound is clamped
+// to the recorded maximum, so the estimate never exceeds a value that
+// was actually seen.
+func TestQuantileInterpolationClampsToMax(t *testing.T) {
+	h := NewHistogram([]time.Duration{100})
+	for i := 0; i < 4; i++ {
+		h.Observe(50)
+	}
+	// rank(0.5) = 2 of 4 in bucket [0,100] clamped to [0,50]: 0.5 in.
+	if got := h.Quantile(0.5); got != 25 {
+		t.Errorf("Quantile(0.5) = %v, want 25", got)
+	}
+	if got := h.Quantile(1); got != 50 {
+		t.Errorf("Quantile(1) = %v, want 50 (clamped to max)", got)
+	}
+}
+
+// Samples past the last bound land in the overflow bucket, whose
+// quantile estimate is the exact recorded maximum.
+func TestQuantileOverflowBucket(t *testing.T) {
+	h := NewHistogram([]time.Duration{10})
+	h.Observe(5)
+	h.Observe(100)
+	h.Observe(200)
+	if got := h.Quantile(0.9); got != 200 {
+		t.Errorf("Quantile(0.9) = %v, want max 200", got)
+	}
+	// The first bucket still interpolates: rank 0.3 of 1 sample in
+	// [0,10] → 3.
+	if got := h.Quantile(0.1); got != 3 {
+		t.Errorf("Quantile(0.1) = %v, want 3", got)
+	}
+	if h.Buckets[1] != 2 {
+		t.Errorf("overflow bucket = %d, want 2", h.Buckets[1])
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+	if got := h.Mean(); got != 0 {
+		t.Errorf("empty Mean = %v, want 0", got)
+	}
+	if h.Max != 0 || h.Count != 0 || h.Sum != 0 {
+		t.Errorf("empty summary = %d/%v/%v, want zeros", h.Count, h.Sum, h.Max)
+	}
+	if got := len(h.Bounds()); got != len(defaultLatencyBounds) {
+		t.Errorf("zero value bounds = %d entries, want the default ladder's %d",
+			got, len(defaultLatencyBounds))
+	}
+}
+
+func TestObserveClampsNegative(t *testing.T) {
+	var h Histogram
+	h.Observe(-5 * time.Millisecond)
+	if h.Sum != 0 || h.Max != 0 || h.Count != 1 {
+		t.Errorf("after Observe(-5ms): count=%d sum=%v max=%v, want 1/0/0", h.Count, h.Sum, h.Max)
+	}
+	if h.Buckets[0] != 1 {
+		t.Errorf("negative sample not in first bucket")
+	}
+}
+
+// Merge folds bucket-by-bucket; an empty histogram adopts the other's
+// bound table so device SSD+HDD views combine without pre-declaring
+// bounds.
+func TestMergeAdoptsBounds(t *testing.T) {
+	o := NewHistogram(CountBounds())
+	o.Observe(3)
+	o.Observe(5)
+	var h Histogram
+	h.Merge(o)
+	h.Merge(o)
+	if h.Count != 4 || h.Sum != 16 || h.Max != 5 {
+		t.Fatalf("merged summary = %d/%v/%v, want 4/16/5", h.Count, h.Sum, h.Max)
+	}
+	if got, want := h.Bounds()[0], time.Duration(1); got != want {
+		t.Errorf("merged bounds[0] = %v, want adopted count bound %v", got, want)
+	}
+	// All four samples sit in count buckets (3 → (2,4], 5 → (4,8]).
+	if h.Buckets[2] != 2 || h.Buckets[3] != 2 {
+		t.Errorf("merged buckets = %v", h.Buckets[:5])
+	}
+}
+
+// A count histogram of all-ones: the raw interpolated p50 is fractional
+// (0.5), which the registry's display rounds up; the histogram itself
+// must report max and mean exactly.
+func TestCountBoundsBatchOfOnes(t *testing.T) {
+	h := NewHistogram(CountBounds())
+	for i := 0; i < 184; i++ {
+		h.Observe(1)
+	}
+	if h.Max != 1 || h.Mean() != 1 {
+		t.Errorf("max=%v mean=%v, want 1/1", h.Max, h.Mean())
+	}
+	if got := countQ(h, 0.50); got != 1 {
+		t.Errorf("countQ(0.50) = %d, want 1", got)
+	}
+	if got := countQ(h, 0.99); got != 1 {
+		t.Errorf("countQ(0.99) = %d, want 1", got)
+	}
+}
+
+// The bound table caps at MaxHistogramBuckets-1 entries so the overflow
+// slot always exists.
+func TestNewHistogramTruncatesBounds(t *testing.T) {
+	bounds := make([]time.Duration, MaxHistogramBuckets+5)
+	for i := range bounds {
+		bounds[i] = time.Duration(i + 1)
+	}
+	h := NewHistogram(bounds)
+	if got := len(h.Bounds()); got != MaxHistogramBuckets-1 {
+		t.Errorf("bounds kept = %d, want %d", got, MaxHistogramBuckets-1)
+	}
+	// An overflowing sample must still have a slot.
+	h.Observe(time.Hour)
+	if h.Buckets[MaxHistogramBuckets-1] != 1 {
+		t.Errorf("overflow slot not used")
+	}
+}
+
+// Out-of-range q values clamp instead of panicking.
+func TestQuantileClampsQ(t *testing.T) {
+	var h Histogram
+	h.Observe(10 * time.Microsecond)
+	if got := h.Quantile(2); got != h.Quantile(1) {
+		t.Errorf("Quantile(2) = %v, want Quantile(1) = %v", got, h.Quantile(1))
+	}
+	if got := h.Quantile(-1); got < 0 {
+		t.Errorf("Quantile(-1) = %v, want >= 0", got)
+	}
+}

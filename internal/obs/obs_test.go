@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Get-or-create: the same name+labels yields the same instrument, label
+// order does not matter, and different labels yield different ones.
+func TestRegistryCanonicalKeys(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x.y", L("dev", "ssd"), L("class", "2"))
+	b := r.Counter("x.y", L("class", "2"), L("dev", "ssd"))
+	if a != b {
+		t.Fatal("label order changed instrument identity")
+	}
+	c := r.Counter("x.y", L("dev", "hdd"), L("class", "2"))
+	if a == c {
+		t.Fatal("different labels shared an instrument")
+	}
+	a.Add(3)
+	a.Inc()
+	if b.Value() != 4 {
+		t.Fatalf("counter = %d, want 4", b.Value())
+	}
+	// Negative deltas are ignored: counters only go up.
+	a.Add(-2)
+	if a.Value() != 4 {
+		t.Fatalf("counter after Add(-2) = %d, want 4", a.Value())
+	}
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("dev.busy")
+	g.SetMax(10)
+	g.SetMax(5)
+	if g.Value() != 10 {
+		t.Fatalf("SetMax went backwards: %d", g.Value())
+	}
+	g.SetMax(20)
+	if g.Value() != 20 {
+		t.Fatalf("SetMax did not advance: %d", g.Value())
+	}
+}
+
+// Snapshot order is deterministic (counters, gauges, histograms; name
+// order within a kind), so Format output is byte-stable.
+func TestRegistryFormatDeterministic(t *testing.T) {
+	build := func() string {
+		r := NewRegistry()
+		r.Counter("b.count").Inc()
+		r.Counter("a.count", L("dev", "x")).Add(2)
+		r.Gauge("g.v").Set(7)
+		r.Histogram("lat").Observe(30 * time.Microsecond)
+		r.HistogramWith(CountBounds(), "count", "batch").Observe(3)
+		return r.Format()
+	}
+	d1, d2 := build(), build()
+	if d1 != d2 {
+		t.Fatalf("Format not deterministic:\n%s\nvs\n%s", d1, d2)
+	}
+	lines := strings.Split(strings.TrimRight(d1, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("want 5 lines, got %d:\n%s", len(lines), d1)
+	}
+	if !strings.HasPrefix(lines[0], "counter") || !strings.Contains(lines[0], "a.count{dev=x}") {
+		t.Errorf("line 0 = %q, want counter a.count{dev=x} first", lines[0])
+	}
+	if !strings.Contains(lines[3], "batch") || !strings.Contains(lines[3], "mean=3.0") || !strings.Contains(lines[3], "p50=3") {
+		t.Errorf("count histogram line = %q", lines[3])
+	}
+}
+
+// Reset zeroes values but keeps the instruments: pointers cached by
+// subsystems stay live across experiment boundaries.
+func TestRegistryReset(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n")
+	h := r.Histogram("lat")
+	c.Add(5)
+	h.Observe(time.Millisecond)
+	r.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("counter survived reset: %d", c.Value())
+	}
+	if got := h.Snapshot(); got.Count != 0 {
+		t.Fatalf("histogram survived reset: %d", got.Count)
+	}
+	c.Inc()
+	if r.Counter("n").Value() != 1 {
+		t.Fatal("cached counter detached from registry after reset")
+	}
+}
+
+// Nil receivers are inert everywhere, so instrumentation sites never
+// need guards.
+func TestNilSafety(t *testing.T) {
+	var set *Set
+	if set.Registry() != nil || set.Trace() != nil {
+		t.Fatal("nil set yielded non-nil sinks")
+	}
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(1)
+	r.Histogram("z").Observe(1)
+	if r.Format() != "" {
+		t.Fatal("nil registry formatted non-empty")
+	}
+	var tr *Tracer
+	if tr.SampleRequest() {
+		t.Fatal("nil tracer sampled")
+	}
+	tr.Span("a", "b", 0, 0, 0, nil)
+	tr.Instant("a", "b", 0, 0, nil)
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer recorded")
+	}
+}
+
+// The ring buffer keeps the newest spans and counts the overwritten
+// ones.
+func TestTracerRingOverflow(t *testing.T) {
+	tr := NewTracer(TraceConfig{Capacity: 4})
+	for i := 0; i < 10; i++ {
+		tr.Span("c", "s", 1, time.Duration(i), 1, nil)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+	spans := tr.Spans()
+	if spans[0].Start != 6 || spans[3].Start != 9 {
+		t.Fatalf("kept spans %v..%v, want 6..9", spans[0].Start, spans[3].Start)
+	}
+}
+
+func TestTracerSampling(t *testing.T) {
+	tr := NewTracer(TraceConfig{SampleEvery: 3})
+	admitted := 0
+	for i := 0; i < 9; i++ {
+		if tr.SampleRequest() {
+			admitted++
+		}
+	}
+	if admitted != 3 {
+		t.Fatalf("admitted = %d of 9 with SampleEvery=3, want 3", admitted)
+	}
+	one := NewTracer(TraceConfig{})
+	for i := 0; i < 5; i++ {
+		if !one.SampleRequest() {
+			t.Fatal("default sampling rejected a request")
+		}
+	}
+}
+
+// The Chrome trace output is valid JSON with microsecond timestamps,
+// "X" complete events for spans and "i" instants for zero-duration
+// marks.
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer(TraceConfig{})
+	tr.Span("device", "service", 2, 1500*time.Nanosecond, 2*time.Microsecond,
+		map[string]any{"dev": "ssd"})
+	tr.Instant("lockmgr", "wait", 1, 3*time.Microsecond, nil)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int64          `json:"tid"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("events = %d, want 2", len(doc.TraceEvents))
+	}
+	e0 := doc.TraceEvents[0]
+	if e0.Ph != "X" || e0.TS != 1.5 || e0.Dur != 2 || e0.Tid != 2 || e0.Args["dev"] != "ssd" {
+		t.Errorf("span event = %+v", e0)
+	}
+	e1 := doc.TraceEvents[1]
+	if e1.Ph != "i" || e1.Cat != "lockmgr" || e1.TS != 3 {
+		t.Errorf("instant event = %+v", e1)
+	}
+}
+
+// JSONSnapshot rounds count-unit quantiles up like Format does.
+func TestJSONSnapshotCountUnit(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramWith(CountBounds(), "count", "batch")
+	for i := 0; i < 10; i++ {
+		h.Observe(1)
+	}
+	m := r.JSONSnapshot()["batch"].(map[string]any)
+	if m["p50"].(int64) != 1 || m["max"].(int64) != 1 {
+		t.Fatalf("count snapshot = %v", m)
+	}
+	if m["unit"].(string) != "count" {
+		t.Fatalf("unit = %v", m["unit"])
+	}
+}

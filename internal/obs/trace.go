@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one traced interval on the simulated timeline: a request's
+// stay in a queue, a device service, a lock wait, a group-commit flush.
+// Instant events carry Dur == 0.
+type Span struct {
+	// Cat is the subsystem category ("iosched", "device", "wal", ...).
+	Cat string
+	// Name is the event within the category ("queue.wait",
+	// "device.service", "lock.wait", ...).
+	Name string
+	// TID identifies the logical track the span belongs to — the
+	// request stream's clock ID, or a transaction ID for engine spans.
+	TID int64
+	// Start is the span's begin instant in simulated time.
+	Start time.Duration
+	// Dur is the span's length in simulated time (0 for instants).
+	Dur time.Duration
+	// Args carries small key→value annotations (LBA, blocks, class).
+	Args map[string]any
+}
+
+// TraceConfig sizes and throttles a Tracer.
+type TraceConfig struct {
+	// Capacity bounds the span ring buffer; once full, the oldest spans
+	// are overwritten and Dropped counts them. 0 selects the default
+	// (65536 spans).
+	Capacity int
+	// SampleEvery admits every Nth request into the tracer's sampling
+	// gate (SampleRequest); 0 or 1 admits everything. Spans recorded
+	// outside the gate are unaffected — the gate is advisory, consulted
+	// by the request-path instrumentation.
+	SampleEvery int
+}
+
+// defaultTraceCapacity is the ring size when TraceConfig.Capacity is 0.
+const defaultTraceCapacity = 65536
+
+// Tracer collects Spans into a bounded ring buffer. All methods are
+// safe for concurrent use and nil-safe: a nil *Tracer drops everything,
+// so instrumentation sites never need guards.
+type Tracer struct {
+	mu      sync.Mutex
+	ring    []Span
+	next    int   // ring index of the next write
+	n       int   // spans currently stored (≤ len(ring))
+	dropped int64 // spans overwritten after the ring filled
+
+	sampleEvery int64
+	reqSeq      atomic.Int64
+}
+
+// NewTracer returns a tracer sized by cfg.
+func NewTracer(cfg TraceConfig) *Tracer {
+	capn := cfg.Capacity
+	if capn <= 0 {
+		capn = defaultTraceCapacity
+	}
+	se := int64(cfg.SampleEvery)
+	if se < 1 {
+		se = 1
+	}
+	return &Tracer{ring: make([]Span, capn), sampleEvery: se}
+}
+
+// SampleRequest advances the sampling gate and reports whether the
+// caller's request is admitted (every SampleEvery-th is). Nil-safe: a
+// nil tracer admits nothing.
+func (t *Tracer) SampleRequest() bool {
+	if t == nil {
+		return false
+	}
+	n := t.reqSeq.Add(1)
+	return (n-1)%t.sampleEvery == 0
+}
+
+// Span records an interval event. Nil-safe.
+func (t *Tracer) Span(cat, name string, tid int64, start, dur time.Duration, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.record(Span{Cat: cat, Name: name, TID: tid, Start: start, Dur: dur, Args: args})
+}
+
+// Instant records a zero-duration event. Nil-safe.
+func (t *Tracer) Instant(cat, name string, tid int64, at time.Duration, args map[string]any) {
+	t.Span(cat, name, tid, at, 0, args)
+}
+
+// record appends to the ring, overwriting the oldest span when full.
+func (t *Tracer) record(s Span) {
+	t.mu.Lock()
+	t.ring[t.next] = s
+	t.next = (t.next + 1) % len(t.ring)
+	if t.n < len(t.ring) {
+		t.n++
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Dropped reports how many spans were overwritten after the ring
+// filled. Nil-safe.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Len reports how many spans are currently stored. Nil-safe.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Reset discards all stored spans and rewinds the sampling gate.
+// Nil-safe.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.next, t.n, t.dropped = 0, 0, 0
+	t.reqSeq.Store(0)
+	t.mu.Unlock()
+}
+
+// Spans returns the stored spans in canonical order: by Start, then
+// TID, then Cat, Name, and Dur. Concurrent streams may record
+// interleaved in scheduling order, but simulated timestamps are
+// deterministic, so the canonical sort makes the returned slice — and
+// everything exported from it — byte-for-byte reproducible for a fixed
+// seed. Nil-safe.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Span, 0, t.n)
+	start := 0
+	if t.n == len(t.ring) {
+		start = t.next
+	}
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		if a.Cat != b.Cat {
+			return a.Cat < b.Cat
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Dur < b.Dur
+	})
+	return out
+}
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
+// as consumed by Perfetto and chrome://tracing. ph "X" is a complete
+// (duration) event; timestamps and durations are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	PID  int64          `json:"pid"`
+	TID  int64          `json:"tid"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTraceFile is the top-level JSON object of a Chrome trace file.
+type chromeTraceFile struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteChromeTrace writes the stored spans as a Chrome trace-event JSON
+// file loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. All
+// spans share pid 1; tid is the span's stream/transaction track. The
+// output is deterministic: spans are canonically sorted and
+// encoding/json sorts args keys. Nil-safe (writes an empty trace).
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+	events := make([]chromeEvent, 0, len(spans))
+	for _, s := range spans {
+		ev := chromeEvent{
+			Name: s.Name,
+			Cat:  s.Cat,
+			Ph:   "X",
+			PID:  1,
+			TID:  s.TID,
+			TS:   float64(s.Start) / float64(time.Microsecond),
+			Dur:  float64(s.Dur) / float64(time.Microsecond),
+			Args: s.Args,
+		}
+		if s.Dur == 0 {
+			ev.Ph = "i" // instant event
+		}
+		events = append(events, ev)
+	}
+	file := chromeTraceFile{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]any{
+			"spans":   len(spans),
+			"dropped": t.Dropped(),
+		},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(file)
+}

@@ -28,6 +28,23 @@ type Duration = time.Duration
 type Clock struct {
 	mu  sync.Mutex
 	now Duration
+	id  int64
+}
+
+// SetID assigns the stream identity used as the trace track for
+// requests submitted on this clock. Sessions number their clocks
+// sequentially at creation so traces of a fixed-seed run are stable.
+func (c *Clock) SetID(id int64) {
+	c.mu.Lock()
+	c.id = id
+	c.mu.Unlock()
+}
+
+// ID reports the stream identity assigned by SetID (0 if none).
+func (c *Clock) ID() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.id
 }
 
 // Now returns the current virtual time.
