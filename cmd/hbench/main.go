@@ -11,7 +11,7 @@
 //
 // Experiments: fig4, fig5, table4, fig6, table5, table6, fig9, table7,
 // fig11 (includes table8), table9, fig12, oltp, iosched, txnscale,
-// tenants, all.
+// tenants, htap, all.
 //
 // With -json, every experiment's structured results are also written to
 // the given file as one versioned JSON document (schema "hbench/v1")
@@ -61,7 +61,7 @@ type benchFile struct {
 
 func main() {
 	log.SetFlags(0)
-	exp := flag.String("exp", "all", "comma-separated experiment ids (fig4 fig5 table4 fig6 table5 table6 fig9 table7 fig11 table9 fig12 oltp iosched txnscale tenants all)")
+	exp := flag.String("exp", "all", "comma-separated experiment ids (fig4 fig5 table4 fig6 table5 table6 fig9 table7 fig11 table9 fig12 oltp iosched txnscale tenants htap all)")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
 	cache := flag.Float64("cache", 0.7, "SSD cache size as a fraction of total data pages")
 	bp := flag.Float64("bp", 0.04, "buffer pool size as a fraction of total data pages")
@@ -72,6 +72,7 @@ func main() {
 	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts for the txnscale experiment")
 	tenantsFlag := flag.String("tenants", "4,2,1,1", "comma-separated tenant weights for the tenants experiment (tenant IDs 1..n)")
 	scanBlocks := flag.Int("scanblocks", 3000, "per-tenant scan-stream demand in blocks for the tenants experiment")
+	scanRounds := flag.Int("scanrounds", 6, "revenue sweeps by the analytics stream in the htap experiment")
 	jsonPath := flag.String("json", "", "write per-experiment metrics to this file as versioned JSON (schema hbench/v1)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file of every layer's spans (open in Perfetto)")
 	traceCap := flag.Int("tracecap", 0, "trace ring-buffer capacity in spans (0 = default 65536; oldest spans drop first)")
@@ -270,6 +271,23 @@ func main() {
 			return nil, err
 		}
 		fmt.Print(experiments.FormatTenants(runs))
+		return runs, nil
+	})
+	run("htap", func() (any, error) {
+		// Eight OLTP workers split -txns between them while the
+		// analytics session runs -scanrounds revenue sweeps. The
+		// interference contrast needs sustained writer pressure, so at
+		// least 30 transactions per worker run regardless of the
+		// (shared) -txns default.
+		perWorker := *txns / 8
+		if perWorker < 30 {
+			perWorker = 30
+		}
+		runs, err := env.HTAPAll(8, perWorker, *scanRounds)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Print(experiments.FormatHTAP(runs))
 		return runs, nil
 	})
 	if has("table9") || has("fig12") {

@@ -25,6 +25,7 @@ var auditedPackages = []string{
 	"internal/iosched",
 	"internal/engine/lockmgr",
 	"internal/engine/policy",
+	"internal/engine/txn",
 	"internal/engine/wal",
 	"internal/obs",
 }

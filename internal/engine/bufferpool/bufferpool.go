@@ -37,6 +37,7 @@ package bufferpool
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 
 	"hstoragedb/internal/engine/policy"
@@ -66,6 +67,14 @@ type entry struct {
 	// flushing latches the frame while its content is being written
 	// back: it stays visible to readers but is not a victim candidate.
 	flushing bool
+
+	// verLSN is the commit LSN the frame's content was committed at (0
+	// when unknown: freshly loaded from disk, or pre-MVCC content).
+	// uncommitted marks content installed by a still-running transaction;
+	// such a frame is never served to snapshot readers — the owner's
+	// pending chain version covers them.
+	verLSN      int64
+	uncommitted bool
 
 	// pins counts active transactions holding the frame under the
 	// no-steal policy: a pinned frame is never evicted or flushed, so an
@@ -125,16 +134,29 @@ type Pool struct {
 	// cascade extra evictions while a victim's I/O is in flight.
 	nflushing int
 
+	// versions holds the per-page version chains of the MVCC snapshot
+	// store (mvcc.go); verBytes is the retained payload total. Guarded
+	// by mu.
+	versions map[key][]pageVersion
+	verBytes int64
+
 	txnMu sync.RWMutex
 	txns  map[*simclock.Clock]*TxnHooks
+	// snaps binds session streams to snapshot LSNs (read-only
+	// transactions). Guarded by txnMu.
+	snaps map[*simclock.Clock]int64
 
 	// Registry instruments and tracer, nil (inert) until Use attaches a
 	// set.
-	tracer *obs.Tracer
-	mHit   *obs.Counter
-	mMiss  *obs.Counter
-	mEvict *obs.Counter
-	mWB    *obs.Counter
+	tracer     *obs.Tracer
+	mHit       *obs.Counter
+	mMiss      *obs.Counter
+	mEvict     *obs.Counter
+	mWB        *obs.Counter
+	mSnapReads *obs.Counter
+	mVersions  *obs.Gauge
+	mVerBytes  *obs.Gauge
+	mSnaps     *obs.Gauge
 }
 
 // New creates a pool with capacity `frames` pages over the given storage
@@ -144,10 +166,12 @@ func New(mgr *storagemgr.Manager, frames int) *Pool {
 		frames = 1
 	}
 	p := &Pool{
-		mgr:   mgr,
-		cap:   frames,
-		table: make(map[key]*entry, frames),
-		txns:  make(map[*simclock.Clock]*TxnHooks),
+		mgr:      mgr,
+		cap:      frames,
+		table:    make(map[key]*entry, frames),
+		versions: make(map[key][]pageVersion),
+		txns:     make(map[*simclock.Clock]*TxnHooks),
+		snaps:    make(map[*simclock.Clock]int64),
 	}
 	p.head.prev = &p.head
 	p.head.next = &p.head
@@ -159,7 +183,9 @@ func (p *Pool) Manager() *storagemgr.Manager { return p.mgr }
 
 // Use attaches an observability set: the pool registers its counters
 // (`bufferpool.hit`, `bufferpool.miss`, `bufferpool.evictions`,
-// `bufferpool.writeback`) and records a `bufferpool`/`miss.fill` span
+// `bufferpool.writeback`, `bufferpool.snapshot.reads`), the version
+// store gauges (`bufferpool.versions`, `bufferpool.version.bytes`,
+// `bufferpool.snapshots`), and records a `bufferpool`/`miss.fill` span
 // for every sampled miss fill. A nil set detaches.
 func (p *Pool) Use(set *obs.Set) {
 	p.mu.Lock()
@@ -167,13 +193,18 @@ func (p *Pool) Use(set *obs.Set) {
 	p.tracer = set.Trace()
 	reg := set.Registry()
 	if reg == nil {
-		p.mHit, p.mMiss, p.mEvict, p.mWB = nil, nil, nil, nil
+		p.mHit, p.mMiss, p.mEvict, p.mWB, p.mSnapReads = nil, nil, nil, nil, nil
+		p.mVersions, p.mVerBytes, p.mSnaps = nil, nil, nil
 		return
 	}
 	p.mHit = reg.Counter("bufferpool.hit")
 	p.mMiss = reg.Counter("bufferpool.miss")
 	p.mEvict = reg.Counter("bufferpool.evictions")
 	p.mWB = reg.Counter("bufferpool.writeback")
+	p.mSnapReads = reg.Counter("bufferpool.snapshot.reads")
+	p.mVersions = reg.Gauge("bufferpool.versions")
+	p.mVerBytes = reg.Gauge("bufferpool.version.bytes")
+	p.mSnaps = reg.Gauge("bufferpool.snapshots")
 }
 
 // BindTxn associates transaction hooks with a session stream: every
@@ -193,11 +224,13 @@ func (p *Pool) UnbindTxn(clk *simclock.Clock) {
 	p.txnMu.Unlock()
 }
 
-// UnbindAll removes every transaction binding (crash path).
+// UnbindAll removes every transaction and snapshot binding (crash path).
 func (p *Pool) UnbindAll() {
 	p.txnMu.Lock()
 	p.txns = make(map[*simclock.Clock]*TxnHooks)
+	p.snaps = make(map[*simclock.Clock]int64)
 	p.txnMu.Unlock()
+	p.mSnaps.Set(0)
 }
 
 // txnFor returns the hooks bound to a stream, or nil.
@@ -283,12 +316,17 @@ func (p *Pool) evictOne(clk *simclock.Clock) (bool, error) {
 	version := lru.version
 	pageNo := lru.key.page
 	p.mu.Unlock()
-	// Dirty pages are flushed by the background writer: the flush
-	// occupies the storage system but the query does not wait for it. A
-	// write-back can race the deletion of its object (another stream just
-	// dropped the temp file this frame belongs to); the data is dead, so
-	// the write is simply discarded.
-	err := p.mgr.WritePageBackground(clk, tag, pageNo, data)
+	// Nil version guards defer to the disk image this write-back is about
+	// to replace: materialize them first.
+	err := p.materializeGuards(clk, lru.key, lru.content)
+	if err == nil {
+		// Dirty pages are flushed by the background writer: the flush
+		// occupies the storage system but the query does not wait for it. A
+		// write-back can race the deletion of its object (another stream
+		// just dropped the temp file this frame belongs to); the data is
+		// dead, so the write is simply discarded.
+		err = p.mgr.WritePageBackground(clk, tag, pageNo, data)
+	}
 	if errors.Is(err, pagestore.ErrUnknownObject) {
 		err = nil
 	}
@@ -336,6 +374,13 @@ func (p *Pool) makeRoom(clk *simclock.Clock) error {
 // Acquire hook runs first (shared mode) and its error — e.g. a deadlock —
 // is returned unchanged.
 func (p *Pool) Get(clk *simclock.Clock, tag policy.Tag, page int64) ([]byte, error) {
+	if versioned(tag.Content) {
+		if s, ok := p.snapFor(clk); ok {
+			// Snapshot-bound stream: resolve against the version store,
+			// bypassing the lock manager entirely.
+			return p.getSnapshot(clk, tag, page, s)
+		}
+	}
 	if h := p.txnFor(clk); h != nil && h.Acquire != nil {
 		if err := h.Acquire(tag, page, false); err != nil {
 			return nil, err
@@ -390,6 +435,11 @@ func (p *Pool) Get(clk *simclock.Clock, tag policy.Tag, page int64) ([]byte, err
 // On a stream with a bound transaction, the transaction's Acquire hook
 // runs first (exclusive mode) and its Capture hook observes the install.
 func (p *Pool) Put(clk *simclock.Clock, tag policy.Tag, page int64, data []byte) error {
+	if versioned(tag.Content) {
+		if s, ok := p.snapFor(clk); ok {
+			return fmt.Errorf("bufferpool: snapshot %d: write to page %d/%d on a read-only snapshot stream", s, tag.Object, page)
+		}
+	}
 	h := p.txnFor(clk)
 	if h != nil && h.Acquire != nil {
 		if err := h.Acquire(tag, page, true); err != nil {
@@ -401,6 +451,12 @@ func (p *Pool) Put(clk *simclock.Clock, tag policy.Tag, page int64, data []byte)
 	if e, ok := p.table[k]; ok {
 		if h != nil && h.Capture != nil && h.Capture(tag, page, e.data, e.dirty, data) {
 			e.pin(h.ID)
+			if versioned(tag.Content) {
+				// First touch: the frame's committed content becomes a
+				// pending chain version for concurrent snapshot readers.
+				p.pushPendingLocked(h.ID, k, e.verLSN, e.data, false)
+				e.uncommitted = true
+			}
 		}
 		e.data = data
 		e.dirty = true
@@ -417,6 +473,15 @@ func (p *Pool) Put(clk *simclock.Clock, tag policy.Tag, page int64, data []byte)
 	e := &entry{key: k, data: data, dirty: true, content: tag.Content, version: 1}
 	if h != nil && h.Capture != nil && h.Capture(tag, page, nil, false, data) {
 		e.pin(h.ID)
+		if versioned(tag.Content) {
+			// No frame held the pre-image. Either the page does not exist
+			// yet (an append extends the object only after this Put), in
+			// which case snapshot readers see zeroes, or its committed
+			// content lives on disk: a nil guard defers to the disk image.
+			absent := page >= p.mgr.Store().Pages(tag.Object)
+			p.pushPendingLocked(h.ID, k, 0, nil, absent)
+			e.uncommitted = true
+		}
 	}
 	p.table[k] = e
 	p.pushFront(e)
@@ -445,6 +510,9 @@ func (p *Pool) FlushAll(clk *simclock.Clock) error {
 	for _, s := range dirty {
 		e := s.e
 		tag := policy.Tag{Object: e.key.obj, Content: e.content}
+		if err := p.materializeGuards(clk, e.key, e.content); err != nil {
+			return err
+		}
 		if err := p.mgr.WritePage(clk, tag, e.key.page, s.data); err != nil {
 			if errors.Is(err, pagestore.ErrUnknownObject) {
 				continue // the object was dropped while we flushed
@@ -493,7 +561,9 @@ func (p *Pool) Unpin(txn int64, obj pagestore.ObjectID, page int64) {
 // the storage system never sees the aborted content.
 func (p *Pool) Restore(txn int64, obj pagestore.ObjectID, page int64, pre []byte, preDirty bool) {
 	p.mu.Lock()
-	e, ok := p.table[key{obj: obj, page: page}]
+	k := key{obj: obj, page: page}
+	created := p.dropPendingLocked(txn, k)
+	e, ok := p.table[k]
 	if !ok {
 		p.mu.Unlock()
 		return
@@ -506,6 +576,12 @@ func (p *Pool) Restore(txn int64, obj pagestore.ObjectID, page int64, pre []byte
 		e.data = pre
 		e.dirty = preDirty
 		e.version++
+		if created >= 0 {
+			// The dropped pending version guarded this very content:
+			// restore its commit stamp alongside it.
+			e.verLSN = created
+		}
+		e.uncommitted = false
 	}
 	p.mu.Unlock()
 }
@@ -548,12 +624,18 @@ func (p *Pool) Len() int {
 // Capacity reports the pool size in frames.
 func (p *Pool) Capacity() int { return p.cap }
 
-// DropAll empties the pool without write-back. Tests use it to force cold
-// caches between runs; the crash path uses it to drop volatile state.
+// DropAll empties the pool without write-back, version chains included
+// (they are volatile by design: recovery rebuilds the committed
+// single-version state from the WAL). Tests use it to force cold caches
+// between runs; the crash path uses it to drop volatile state.
 func (p *Pool) DropAll() {
 	p.mu.Lock()
 	p.table = make(map[key]*entry, p.cap)
 	p.head.prev = &p.head
 	p.head.next = &p.head
+	p.versions = make(map[key][]pageVersion)
+	p.verBytes = 0
 	p.mu.Unlock()
+	p.mVersions.Set(0)
+	p.mVerBytes.Set(0)
 }

@@ -17,12 +17,19 @@
 // ErrDeadlock. The victim is expected to abort (releasing its locks,
 // which unblocks the rest of the cycle) and retry.
 //
-// Lock waits block the calling goroutine in real time but consume no
-// simulated time: the virtual cost of contention is paid at the devices,
-// where the retried work queues again. This mirrors the paper's Rule 5
-// view of concurrency — what matters to the storage system is the degree
-// of concurrent traffic, which only genuinely concurrent transactions
-// can generate.
+// Lock waits block the calling goroutine in real time and, through the
+// clock-aware entry points (AcquireClk/ReleaseAllAt), consume simulated
+// time too: a granted waiter's session clock advances to the virtual
+// time of the release that unblocked it, so blocking behind a long
+// transaction costs the blocked transaction virtual latency exactly as
+// it would on a real engine. The legacy entry points (Acquire/AcquireAt
+// with ReleaseAll) keep the old behavior — waits free of virtual time —
+// for callers without a session clock.
+//
+// Read-only snapshot transactions never appear here at all: they carry
+// non-positive transaction IDs, which the lock table rejects by panic,
+// turning any accidental lock acquisition on the snapshot path into an
+// immediate invariant failure instead of silent contention.
 package lockmgr
 
 import (
@@ -33,6 +40,7 @@ import (
 
 	"hstoragedb/internal/obs"
 	"hstoragedb/internal/pagestore"
+	"hstoragedb/internal/simclock"
 )
 
 // ErrDeadlock is returned by Acquire when granting the request would
@@ -76,6 +84,13 @@ type waiter struct {
 	mode    Mode
 	upgrade bool // holds Shared already, wants Exclusive
 	done    chan error
+
+	// at is the requester's virtual time when it blocked; grantAt is the
+	// virtual time of the release that granted it (never below at).
+	// grantAt is written before the done send, which orders it before
+	// the waking goroutine's read.
+	at      time.Duration
+	grantAt time.Duration
 }
 
 // lockState is the holder set and wait queue of one page.
@@ -108,9 +123,9 @@ type Manager struct {
 	stats Stats
 
 	// Registry instruments and tracer, nil (inert) until Use attaches a
-	// set. Lock waits block real goroutines but consume no simulated
-	// time, so the `lockmgr`/`wait` trace event is an instant stamped at
-	// the virtual time AcquireAt is handed.
+	// set. The `lockmgr`/`wait` trace event is an instant stamped at the
+	// virtual time the request blocked (the wait's virtual cost, if any,
+	// shows up on the waiter's session clock via AcquireClk).
 	tracer     *obs.Tracer
 	mAcquired  *obs.Counter
 	mWaits     *obs.Counter
@@ -167,10 +182,65 @@ func (m *Manager) Acquire(txn int64, id PageID, mode Mode) error {
 
 // AcquireAt is Acquire with the caller's current virtual time attached,
 // so a blocked request can be traced as a `lockmgr`/`wait` instant on
-// the simulated timeline (lock waits consume no virtual time — the
-// contention's cost is paid at the devices when the work retries). Pass
+// the simulated timeline. Waits through this entry point consume no
+// virtual time; use AcquireClk to charge them to a session clock. Pass
 // a negative at to skip the trace event.
 func (m *Manager) AcquireAt(txn int64, id PageID, mode Mode, at time.Duration) error {
+	w, err := m.acquire(txn, id, mode, at)
+	if err != nil || w == nil {
+		return err
+	}
+	return <-w.done
+}
+
+// AcquireClk is Acquire charging lock-wait time to the session clock: if
+// the request blocks, clk advances to the virtual time of the release
+// that granted it, so contention costs the blocked transaction simulated
+// latency. Releases must then go through ReleaseAllAt to carry the
+// releaser's time.
+func (m *Manager) AcquireClk(txn int64, id PageID, mode Mode, clk *simclock.Clock) error {
+	return m.AcquireClkPark(txn, id, mode, clk, nil)
+}
+
+// AcquireClkPark is AcquireClk with a park callback bracketing the
+// block: when the request must wait, park(true) runs right before the
+// caller parks on the grant and park(false) once it wakes, granted or
+// refused. A closed-population device scheduler (iosched.Group) uses it
+// to withdraw a lock-blocked stream — which cannot submit I/O — from
+// the population for the wait's duration, so dispatch never stalls on
+// it. A nil park waits plainly.
+func (m *Manager) AcquireClkPark(txn int64, id PageID, mode Mode, clk *simclock.Clock, park func(parked bool)) error {
+	w, err := m.acquire(txn, id, mode, clk.Now())
+	if err != nil || w == nil {
+		return err
+	}
+	if park != nil {
+		park(true)
+	}
+	err = <-w.done
+	if park != nil {
+		park(false)
+	}
+	if err != nil {
+		return err
+	}
+	clk.AdvanceTo(w.grantAt)
+	return nil
+}
+
+// acquire is the common lock-request core. It returns the waiter the
+// request blocked on — armed in the waits-for graph, with m.mu
+// released; the caller must then receive on its done channel (grantAt
+// is stamped before the send) — or nil for an immediate grant, or the
+// refusal error.
+func (m *Manager) acquire(txn int64, id PageID, mode Mode, at time.Duration) (*waiter, error) {
+	if txn <= 0 {
+		// Mutating transactions carry WAL-allocated positive IDs;
+		// non-positive IDs are reserved for read-only snapshot
+		// transactions, which must resolve reads against the version
+		// store without ever touching the lock table.
+		panic(fmt.Sprintf("lockmgr: acquire by reserved read-only txn id %d (snapshot reads must bypass the lock manager)", txn))
+	}
 	m.mu.Lock()
 	ls := m.locks[id]
 	if ls == nil {
@@ -183,7 +253,7 @@ func (m *Manager) AcquireAt(txn int64, id PageID, mode Mode, at time.Duration) e
 			m.stats.Acquired++
 			m.mAcquired.Inc()
 			m.mu.Unlock()
-			return nil
+			return nil, nil
 		}
 		// Upgrade: grant immediately when txn is the sole holder.
 		if len(ls.holders) == 1 {
@@ -194,13 +264,14 @@ func (m *Manager) AcquireAt(txn int64, id PageID, mode Mode, at time.Duration) e
 			m.mAcquired.Inc()
 			m.mUpgrades.Inc()
 			m.mu.Unlock()
-			return nil
+			return nil, nil
 		}
 		// Queue the upgrade at the front: it already holds Shared, so
 		// nothing behind it can be granted first anyway.
-		w := &waiter{txn: txn, mode: Exclusive, upgrade: true, done: make(chan error, 1)}
+		w := &waiter{txn: txn, mode: Exclusive, upgrade: true, done: make(chan error, 1), at: at}
 		ls.queue = append([]*waiter{w}, ls.queue...)
-		return m.blockOn(w, id, ls, at)
+		m.armWaitLocked(w, id, ls, at)
+		return w, nil
 	}
 
 	if m.grantableLocked(ls, txn, mode) {
@@ -209,18 +280,19 @@ func (m *Manager) AcquireAt(txn int64, id PageID, mode Mode, at time.Duration) e
 		m.stats.Acquired++
 		m.mAcquired.Inc()
 		m.mu.Unlock()
-		return nil
+		return nil, nil
 	}
 
-	w := &waiter{txn: txn, mode: mode, done: make(chan error, 1)}
+	w := &waiter{txn: txn, mode: mode, done: make(chan error, 1), at: at}
 	ls.queue = append(ls.queue, w)
-	return m.blockOn(w, id, ls, at)
+	m.armWaitLocked(w, id, ls, at)
+	return w, nil
 }
 
-// blockOn registers the waiter in the waits-for graph, resolves any
-// cycle it creates, and parks the caller. Called with m.mu held; returns
-// with it released.
-func (m *Manager) blockOn(w *waiter, id PageID, ls *lockState, at time.Duration) error {
+// armWaitLocked registers the waiter in the waits-for graph and
+// resolves any cycle it creates. Called with m.mu held; returns with it
+// released. The caller then parks by receiving on w.done.
+func (m *Manager) armWaitLocked(w *waiter, id PageID, ls *lockState, at time.Duration) {
 	m.blkd[w.txn] = &blocked{w: w, id: id}
 	m.stats.Waits++
 	m.mWaits.Inc()
@@ -229,9 +301,8 @@ func (m *Manager) blockOn(w *waiter, id PageID, ls *lockState, at time.Duration)
 			"page": id.String(), "mode": w.mode.String()})
 	}
 	m.rebuildEdgesLocked(id, ls)
-	m.resolveDeadlocksLocked(id)
+	m.resolveDeadlocksLocked(id, at)
 	m.mu.Unlock()
-	return <-w.done
 }
 
 // holdersAllow reports whether the current holder set is compatible
@@ -290,9 +361,11 @@ func (m *Manager) rebuildEdgesLocked(id PageID, ls *lockState) {
 }
 
 // resolveDeadlocksLocked finds cycles reachable from the waiters of one
-// lock and wakes the youngest member of each with ErrDeadlock. Caller
+// lock and wakes the youngest member of each with ErrDeadlock. at is the
+// virtual time of the event that changed the graph (negative when
+// unknown), carried to any grants the victim's removal enables. Caller
 // holds m.mu.
-func (m *Manager) resolveDeadlocksLocked(id PageID) {
+func (m *Manager) resolveDeadlocksLocked(id PageID, at time.Duration) {
 	for {
 		ls := m.locks[id]
 		if ls == nil {
@@ -315,7 +388,7 @@ func (m *Manager) resolveDeadlocksLocked(id PageID) {
 		if victim < 0 {
 			return
 		}
-		m.refuseLocked(victim)
+		m.refuseLocked(victim, at)
 		// Removing the victim may expose another cycle (or none); loop.
 	}
 }
@@ -356,8 +429,9 @@ func (m *Manager) findCycleLocked(start int64) []int64 {
 }
 
 // refuseLocked wakes the blocked transaction txn with ErrDeadlock and
-// removes it from its queue and from the graph. Caller holds m.mu.
-func (m *Manager) refuseLocked(txn int64) {
+// removes it from its queue and from the graph, carrying at to any
+// grants its removal enables. Caller holds m.mu.
+func (m *Manager) refuseLocked(txn int64, at time.Duration) {
 	b := m.blkd[txn]
 	if b == nil {
 		return
@@ -372,7 +446,7 @@ func (m *Manager) refuseLocked(txn int64) {
 			}
 		}
 		m.rebuildEdgesLocked(b.id, ls)
-		m.grantQueueLocked(b.id, ls)
+		m.grantQueueLocked(b.id, ls, at)
 	}
 	m.stats.Deadlocks++
 	m.mDeadlocks.Inc()
@@ -380,8 +454,10 @@ func (m *Manager) refuseLocked(txn int64) {
 }
 
 // grantQueueLocked grants the longest compatible prefix of the wait
-// queue. Caller holds m.mu.
-func (m *Manager) grantQueueLocked(id PageID, ls *lockState) {
+// queue. at is the virtual time of the release enabling the grants
+// (negative when unknown): each granted waiter is stamped with it, never
+// below its own request time, before it is woken. Caller holds m.mu.
+func (m *Manager) grantQueueLocked(id PageID, ls *lockState, at time.Duration) {
 	changed := false
 	for len(ls.queue) > 0 {
 		w := ls.queue[0]
@@ -405,6 +481,10 @@ func (m *Manager) grantQueueLocked(id PageID, ls *lockState) {
 		delete(m.waits, w.txn)
 		m.stats.Acquired++
 		m.mAcquired.Inc()
+		w.grantAt = w.at
+		if at > w.grantAt {
+			w.grantAt = at
+		}
 		w.done <- nil
 		changed = true
 	}
@@ -418,8 +498,16 @@ func (m *Manager) grantQueueLocked(id PageID, ls *lockState) {
 }
 
 // ReleaseAll drops every lock held by txn (end of transaction) and
-// grants whatever its departure unblocks.
+// grants whatever its departure unblocks. Grants enabled this way carry
+// no virtual release time; use ReleaseAllAt to charge waiters.
 func (m *Manager) ReleaseAll(txn int64) {
+	m.ReleaseAllAt(txn, -1)
+}
+
+// ReleaseAllAt is ReleaseAll with the releaser's virtual time attached:
+// every waiter granted by this release observes at as its grant time, so
+// an AcquireClk blocked behind txn pays the wait in simulated latency.
+func (m *Manager) ReleaseAllAt(txn int64, at time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	held := m.held[txn]
@@ -432,8 +520,8 @@ func (m *Manager) ReleaseAll(txn int64) {
 		}
 		delete(ls.holders, txn)
 		m.rebuildEdgesLocked(id, ls)
-		m.grantQueueLocked(id, ls)
-		m.resolveDeadlocksLocked(id)
+		m.grantQueueLocked(id, ls, at)
+		m.resolveDeadlocksLocked(id, at)
 	}
 }
 

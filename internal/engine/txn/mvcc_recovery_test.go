@@ -1,0 +1,221 @@
+package txn
+
+// Crash-recovery and version-GC regression tests for the MVCC snapshot
+// layer: version chains are volatile and must die with the instance
+// (recovery rebuilds exactly the committed single-version state), and
+// the oldest-active-snapshot watermark must both advance as readers
+// drain and bound — not leak — version-store memory under long-running
+// snapshots.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"hstoragedb/internal/obs"
+)
+
+// TestMVCCCrashRecoveryWithVersions crashes the instance mid-commit
+// while a snapshot scan is open and version chains are populated, then
+// recovers: the fresh instance must hold exactly the committed
+// single-version state with an empty version store, and snapshots must
+// work again immediately.
+func TestMVCCCrashRecoveryWithVersions(t *testing.T) {
+	f := newFixture(t, 16)
+	for id := int64(1); id <= 3; id++ {
+		if err := f.insert(id, fmt.Sprintf("v%d", id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.tm.Checkpoint(f.sess); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.updateOn(f.sess, 1, "v1-new"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A snapshot mid-scan: one row consumed, scanner still open.
+	snapSess := f.inst.NewSession()
+	snap := f.tm.BeginSnapshot(snapSess)
+	sc := f.file.NewScanner(&snapSess.Clk, f.inst.Pool, f.db.Store.Pages(f.info.ID))
+	if _, _, ok, err := sc.Next(); err != nil || !ok {
+		t.Fatalf("mid-scan read: ok=%v err=%v", ok, err)
+	}
+
+	// A commit behind the open snapshot populates the version store.
+	if err := f.updateOn(f.sess, 2, "v2-new"); err != nil {
+		t.Fatal(err)
+	}
+	if vs := f.inst.Pool.VersionStats(); vs.Versions == 0 {
+		t.Fatal("expected live version chains before the crash")
+	}
+
+	// The next commit writes its page records but dies before its commit
+	// record; then the instance crashes with the snapshot still open.
+	f.tm.CrashAtCommit(1)
+	if err := f.updateOn(f.sess, 3, "v3-lost"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crashed commit: %v", err)
+	}
+	f.tm.Crash()
+	if err := snap.Commit(); err != nil {
+		t.Fatalf("closing a snapshot after death: %v", err)
+	}
+
+	stats := f.attach(t, 16, false)
+	if stats == nil || stats.CommittedTxns == 0 {
+		t.Fatalf("recovery stats: %+v", stats)
+	}
+	if vs := f.inst.Pool.VersionStats(); vs.Versions != 0 || vs.Bytes != 0 || vs.Snapshots != 0 {
+		t.Fatalf("recovered pool must start with an empty version store: %+v", vs)
+	}
+	if got := f.lookup(t, 1); got != "v1-new" {
+		t.Fatalf("id 1 after recovery: %q", got)
+	}
+	if got := f.lookup(t, 2); got != "v2-new" {
+		t.Fatalf("id 2 after recovery: %q", got)
+	}
+	if got := f.lookup(t, 3); got != "v3" {
+		t.Fatalf("crashed update must be discarded, id 3: %q", got)
+	}
+	if n := f.scanCount(t); n != 3 {
+		t.Fatalf("scan after recovery: %d rows", n)
+	}
+
+	// Recovery republishes the watermark, so new snapshots immediately
+	// observe the recovered committed state.
+	if f.tm.WAL().CommitWatermark() == 0 {
+		t.Fatal("watermark not rebuilt by recovery")
+	}
+	postSess := f.inst.NewSession()
+	post := f.tm.BeginSnapshot(postSess)
+	if got := f.lookupOn(t, postSess, 2); got != "v2-new" {
+		t.Fatalf("post-recovery snapshot read: %q", got)
+	}
+	if err := post.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMVCCVersionGCWatermark pins two overlapping snapshots, checks the
+// oldest-active-snapshot watermark advances as the older one ends, and
+// that occupancy — asserted through the obs gauges — returns to zero
+// once readers drain and a checkpoint sweeps the store.
+func TestMVCCVersionGCWatermark(t *testing.T) {
+	f := newFixture(t, 32)
+	set := obs.NewSet()
+	f.inst.Pool.Use(set)
+	gauge := func(name string) int64 { return set.Registry().Gauge(name).Value() }
+
+	for id := int64(1); id <= 2; id++ {
+		if err := f.insert(id, fmt.Sprintf("v%d", id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.tm.Checkpoint(f.sess); err != nil {
+		t.Fatal(err)
+	}
+
+	sessA, sessB := f.inst.NewSession(), f.inst.NewSession()
+	snapA := f.tm.BeginSnapshot(sessA)
+	if err := f.updateOn(f.sess, 1, "x1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.updateOn(f.sess, 1, "x2"); err != nil {
+		t.Fatal(err)
+	}
+	snapB := f.tm.BeginSnapshot(sessB)
+	if got := f.lookupOn(t, sessA, 1); got != "v1" {
+		t.Fatalf("older snapshot must predate the updates: %q", got)
+	}
+	if got := f.lookupOn(t, sessB, 1); got != "x2" {
+		t.Fatalf("newer snapshot must see the updates: %q", got)
+	}
+
+	vs := f.inst.Pool.VersionStats()
+	if vs.Snapshots != 2 || vs.OldestSnapshot != int64(snapA.SnapshotLSN()) {
+		t.Fatalf("two snapshots pinned: %+v", vs)
+	}
+	if vs.Versions == 0 {
+		t.Fatal("updates behind a snapshot must retain versions")
+	}
+	if g := gauge("bufferpool.snapshots"); g != 2 {
+		t.Fatalf("snapshots gauge: %d", g)
+	}
+	if g := gauge("bufferpool.versions"); g != int64(vs.Versions) {
+		t.Fatalf("versions gauge %d != stats %d", g, vs.Versions)
+	}
+
+	// Ending the older snapshot advances the oldest-active watermark.
+	if err := snapA.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	vs2 := f.inst.Pool.VersionStats()
+	if vs2.Snapshots != 1 || vs2.OldestSnapshot != int64(snapB.SnapshotLSN()) {
+		t.Fatalf("after older snapshot ends: %+v", vs2)
+	}
+	if vs2.OldestSnapshot <= vs.OldestSnapshot {
+		t.Fatalf("oldest-active watermark did not advance: %d -> %d",
+			vs.OldestSnapshot, vs2.OldestSnapshot)
+	}
+
+	// Draining the last reader and checkpointing empties the store.
+	if err := snapB.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.tm.Checkpoint(f.sess); err != nil {
+		t.Fatal(err)
+	}
+	if vs3 := f.inst.Pool.VersionStats(); vs3.Versions != 0 || vs3.Bytes != 0 || vs3.Snapshots != 0 {
+		t.Fatalf("store not drained: %+v", vs3)
+	}
+	for _, name := range []string{"bufferpool.versions", "bufferpool.version.bytes", "bufferpool.snapshots"} {
+		if g := gauge(name); g != 0 {
+			t.Fatalf("%s gauge after drain: %d", name, g)
+		}
+	}
+	if set.Registry().Counter("bufferpool.snapshot.reads").Value() == 0 {
+		t.Fatal("snapshot reads counter never moved")
+	}
+}
+
+// TestMVCCLongSnapshotBoundsMemory holds one snapshot open across many
+// commits to the same page: per-commit pruning must keep the chain at
+// the covering version plus a short unsealed tail, not one version per
+// commit.
+func TestMVCCLongSnapshotBoundsMemory(t *testing.T) {
+	const commits = 50
+	f := newFixture(t, 32)
+	if err := f.insert(1, "v0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.tm.Checkpoint(f.sess); err != nil {
+		t.Fatal(err)
+	}
+
+	snapSess := f.inst.NewSession()
+	snap := f.tm.BeginSnapshot(snapSess)
+	for i := 0; i < commits; i++ {
+		if err := f.updateOn(f.sess, 1, fmt.Sprintf("u%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vs := f.inst.Pool.VersionStats()
+	if vs.Versions == 0 {
+		t.Fatal("expected retained versions under the open snapshot")
+	}
+	if vs.Versions > 6 {
+		t.Fatalf("version store leaks under a long snapshot: %d versions after %d commits", vs.Versions, commits)
+	}
+	if got := f.lookupOn(t, snapSess, 1); got != "v0" {
+		t.Fatalf("long snapshot drifted: %q", got)
+	}
+	if err := snap.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.tm.Checkpoint(f.sess); err != nil {
+		t.Fatal(err)
+	}
+	if vs := f.inst.Pool.VersionStats(); vs.Versions != 0 {
+		t.Fatalf("store not drained after snapshot end: %+v", vs)
+	}
+}

@@ -6,8 +6,19 @@
 // session stream, acquires shared/exclusive page locks through buffer
 // pool hooks bound to that stream, and holds them until its outcome is
 // decided. A lock-manager deadlock surfaces from any heap/btree
-// operation as lockmgr.ErrDeadlock; the caller aborts and retries.
-// Read-only transactions run lock-free.
+// operation as lockmgr.ErrDeadlock; the caller aborts and retries. Lock
+// waits are charged to the waiter's session clock (lockmgr.AcquireClk),
+// so blocking behind a long transaction costs simulated latency.
+//
+// Read-only transactions (BeginSnapshot, and BeginRead as its alias) run
+// under snapshot isolation without touching the lock manager at all:
+// each binds its session stream to the WAL's commit-LSN watermark and
+// resolves every page read against the buffer pool's version store —
+// per-page chains of superseded committed images that mutating
+// transactions push at first touch and seal at commit (see
+// bufferpool's mvcc.go). Writers never wait for readers, readers never
+// wait at all, and a snapshot observes exactly the transactions whose
+// commit records were durable when it began.
 //
 // The design matches the WAL's redo-only recovery contract:
 //
@@ -120,13 +131,39 @@ type Manager struct {
 	mCommits   *obs.Counter
 	mAborts    *obs.Counter
 	mBatchHist *obs.HistVar
+
+	// sched, when set, is the closed-population device scheduler the
+	// running sessions are registered with: waits that cannot submit
+	// I/O (lock waits, WAL-phase waits, group-commit followers)
+	// withdraw the waiting stream from the population so dispatch never
+	// stalls on it.
+	sched StreamParker
+
+	// walCh is a one-slot semaphore serializing the commit path's WAL
+	// phase (page-record appends through the commit record, and the
+	// batch leader's force). The WAL's own mutex would do the same
+	// exclusion, but a goroutine blocked inside sync.Mutex cannot park
+	// its stream, and under a closed scheduler population an unparked
+	// waiter stalls dispatch while the holder's log I/O waits for it —
+	// a process-level deadlock. walLock parks, sync.Mutex cannot.
+	walCh chan struct{}
+}
+
+// StreamParker is the slice of a closed-population device scheduler
+// (iosched.Group) the transaction layer needs: withdrawing a stream
+// that is about to block outside the scheduler and re-enrolling it when
+// it wakes. See Manager.UseScheduler.
+type StreamParker interface {
+	Register(clk *simclock.Clock)
+	Unregister(clk *simclock.Clock)
+	Registered(clk *simclock.Clock) bool
 }
 
 // NewManager builds a transaction manager over an instance and its log,
 // attaching the instance's observability set (if any) to itself, the
 // lock manager, and the WAL.
 func NewManager(inst *engine.Instance, log *wal.Manager) *Manager {
-	m := &Manager{inst: inst, log: log, lm: lockmgr.New()}
+	m := &Manager{inst: inst, log: log, lm: lockmgr.New(), walCh: make(chan struct{}, 1)}
 	m.Use(inst.Obs)
 	return m
 }
@@ -151,6 +188,62 @@ func (m *Manager) Use(set *obs.Set) {
 		m.mCommits, m.mAborts, m.mBatchHist = nil, nil, nil
 	}
 }
+
+// UseScheduler couples the manager to a closed-population device
+// scheduler whose population includes the transaction sessions: a
+// session blocked on a page lock or waiting as a group-commit follower
+// submits no I/O, so the manager withdraws it (Unregister) for the
+// wait's duration and re-enrolls it (Register) on wake — otherwise the
+// scheduler's all-streams-blocked dispatch condition could never hold.
+// Pass nil to decouple. Not safe to call concurrently with running
+// transactions.
+func (m *Manager) UseScheduler(s StreamParker) { m.sched = s }
+
+// parkFn returns the lockmgr park callback for one session clock: nil
+// when no scheduler is coupled, else a callback that withdraws the
+// stream while it is blocked on a lock.
+func (m *Manager) parkFn(clk *simclock.Clock) func(bool) {
+	s := m.sched
+	if s == nil {
+		return nil
+	}
+	var withdrawn bool
+	return func(parked bool) {
+		if parked {
+			// Streams the caller never enrolled (setup sessions, runs
+			// without a closed population) must stay unenrolled: a
+			// Register on wake would leak them into the population.
+			if withdrawn = s.Registered(clk); withdrawn {
+				s.Unregister(clk)
+			}
+		} else if withdrawn {
+			s.Register(clk)
+		}
+	}
+}
+
+// walLock acquires the commit path's WAL-phase semaphore. A contended
+// acquire parks the stream (parkFn) for the wait, so a closed scheduler
+// population keeps dispatching while this committer queues behind
+// another one's appends or force.
+func (m *Manager) walLock(clk *simclock.Clock) {
+	select {
+	case m.walCh <- struct{}{}:
+		return
+	default:
+	}
+	park := m.parkFn(clk)
+	if park != nil {
+		park(true)
+	}
+	m.walCh <- struct{}{}
+	if park != nil {
+		park(false)
+	}
+}
+
+// walUnlock releases the WAL-phase semaphore.
+func (m *Manager) walUnlock() { <-m.walCh }
 
 // WAL exposes the log manager.
 func (m *Manager) WAL() *wal.Manager { return m.log }
@@ -208,7 +301,13 @@ func (m *Manager) Checkpoint(sess *engine.Session) error {
 	if m.dead.Load() {
 		return ErrCrashed
 	}
-	return m.log.Checkpoint(&sess.Clk, m.inst.Pool)
+	if err := m.log.Checkpoint(&sess.Clk, m.inst.Pool); err != nil {
+		return err
+	}
+	// The checkpoint advanced the commit watermark; sweep the version
+	// store (chains a still-active snapshot needs are kept).
+	m.inst.Pool.PruneVersions(int64(m.log.CommitWatermark()))
+	return nil
 }
 
 type pageKey struct {
@@ -246,6 +345,13 @@ type Txn struct {
 	touched  map[pageKey]struct{}
 	pres     []preimage
 	finished bool
+
+	// Snapshot state (readOnly transactions): the snapshot LSN the
+	// session stream is bound to and the virtual begin time (for the
+	// snapshot-age span).
+	snapshot  bool
+	snapLSN   wal.LSN
+	snapStart simclock.Duration
 }
 
 // Begin starts a mutating transaction on the session. The session stream
@@ -267,7 +373,10 @@ func (m *Manager) Begin(sess *engine.Session) (*Txn, error) {
 		op:      wal.KindHeapUpdate,
 		touched: make(map[pageKey]struct{}),
 	}
-	if _, err := m.log.Append(&sess.Clk, wal.Record{Txn: t.id, Kind: wal.KindBegin}); err != nil {
+	m.walLock(&sess.Clk)
+	_, err := m.log.Append(&sess.Clk, wal.Record{Txn: t.id, Kind: wal.KindBegin})
+	m.walUnlock()
+	if err != nil {
 		m.gate.RUnlock()
 		return nil, err
 	}
@@ -279,9 +388,11 @@ func (m *Manager) Begin(sess *engine.Session) (*Txn, error) {
 	return t, nil
 }
 
-// BeginRead starts a read-only transaction: no locks, no log records.
+// BeginRead starts a read-only transaction: no locks, no log records. It
+// is BeginSnapshot under a historical name — every read-only transaction
+// runs under snapshot isolation.
 func (m *Manager) BeginRead(sess *engine.Session) *Txn {
-	return &Txn{m: m, sess: sess, readOnly: true}
+	return m.BeginSnapshot(sess)
 }
 
 // ID returns the transaction identifier (0 for read-only transactions).
@@ -308,7 +419,7 @@ func (t *Txn) acquire(tag policy.Tag, page int64, write bool) error {
 	if write {
 		mode = lockmgr.Exclusive
 	}
-	return t.m.lm.AcquireAt(t.id, lockmgr.PageID{Obj: tag.Object, Page: page}, mode, t.sess.Clk.Now())
+	return t.m.lm.AcquireClkPark(t.id, lockmgr.PageID{Obj: tag.Object, Page: page}, mode, &t.sess.Clk, t.m.parkFn(&t.sess.Clk))
 }
 
 // LockAppend takes the object's append lock: an exclusive lock on a
@@ -324,7 +435,21 @@ func (t *Txn) LockAppend(obj pagestore.ObjectID) error {
 	if t.readOnly {
 		return nil
 	}
-	return t.m.lm.AcquireAt(t.id, lockmgr.PageID{Obj: obj, Page: -1}, lockmgr.Exclusive, t.sess.Clk.Now())
+	return t.m.lm.AcquireClkPark(t.id, lockmgr.PageID{Obj: obj, Page: -1}, lockmgr.Exclusive, &t.sess.Clk, t.m.parkFn(&t.sess.Clk))
+}
+
+// LockScan takes the object's append lock in shared mode: the
+// phantom-safe scan lock of a serializable 2PL scan. Readers share it
+// freely, but appenders (LockAppend) are excluded until the scanning
+// transaction finishes — and a scan blocks behind any in-flight
+// appender. Snapshot transactions never need it; the htap experiment's
+// locked arm uses it to measure exactly what that protection costs.
+// Returns lockmgr.ErrDeadlock like any other acquisition.
+func (t *Txn) LockScan(obj pagestore.ObjectID) error {
+	if t.readOnly {
+		return nil
+	}
+	return t.m.lm.AcquireClkPark(t.id, lockmgr.PageID{Obj: obj, Page: -1}, lockmgr.Shared, &t.sess.Clk, t.m.parkFn(&t.sess.Clk))
 }
 
 // capture is the buffer pool hook: it runs under the pool mutex for every
@@ -361,6 +486,7 @@ func (t *Txn) Commit() error {
 	}
 	t.finished = true
 	if t.readOnly {
+		t.endSnapshot()
 		return nil
 	}
 	m := t.m
@@ -378,6 +504,7 @@ func (t *Txn) Commit() error {
 	for i, w := range t.writes {
 		finalImage[pageKey{obj: w.tag.Object, page: w.page}] = i
 	}
+	m.walLock(clk)
 	var last wal.LSN
 	for i, w := range t.writes {
 		if finalImage[pageKey{obj: w.tag.Object, page: w.page}] != i {
@@ -390,8 +517,9 @@ func (t *Txn) Commit() error {
 			// The transaction cannot become durable: roll its frames
 			// back so the pins are released and nothing uncommitted
 			// lingers in the pool.
+			m.walUnlock()
 			t.restoreFrames()
-			m.lm.ReleaseAll(t.id)
+			m.lm.ReleaseAllAt(t.id, clk.Now())
 			m.gate.RUnlock()
 			return err
 		}
@@ -408,7 +536,8 @@ func (t *Txn) Commit() error {
 		// released so concurrent transactions can fail promptly rather
 		// than hang; the pool's volatile state dies with the instance.
 		m.seqMu.Unlock()
-		m.lm.ReleaseAll(t.id)
+		m.walUnlock()
+		m.lm.ReleaseAllAt(t.id, clk.Now())
 		m.gate.RUnlock()
 		return ErrCrashed
 	}
@@ -419,7 +548,8 @@ func (t *Txn) Commit() error {
 		m.dead.Store(true)
 		m.seqMu.Unlock()
 		err := m.log.Flush(clk, last)
-		m.lm.ReleaseAll(t.id)
+		m.walUnlock()
+		m.lm.ReleaseAllAt(t.id, clk.Now())
 		m.gate.RUnlock()
 		if err != nil {
 			return err
@@ -429,21 +559,28 @@ func (t *Txn) Commit() error {
 	lsn, err := m.log.Append(clk, wal.Record{Txn: t.id, Kind: wal.KindCommit})
 	if err != nil {
 		m.seqMu.Unlock()
+		m.walUnlock()
 		t.restoreFrames()
-		m.lm.ReleaseAll(t.id)
+		m.lm.ReleaseAllAt(t.id, clk.Now())
 		m.gate.RUnlock()
 		return err
 	}
 	m.commits.Add(1)
 	m.mCommits.Inc()
+	// Seal this transaction's pending page versions with its commit LSN
+	// while the commit order is still pinned by seqMu: chains then seal
+	// in commit-LSN order, so a snapshot taken at any watermark observes
+	// a prefix-consistent version history.
+	m.inst.Pool.CommitVersions(t.id, int64(lsn), int64(m.log.CommitWatermark()), t.pageRefs())
 	m.seqMu.Unlock()
+	m.walUnlock()
 
 	// Strict 2PL ends here: the commit record is appended, so the
 	// version order of every touched page is sealed in the log and the
 	// locks can be released while the force is still pending. A
 	// transaction that reads the freshly committed data and commits
 	// flushes the log through a later LSN, which covers this one.
-	m.lm.ReleaseAll(t.id)
+	m.lm.ReleaseAllAt(t.id, clk.Now())
 
 	// The force is batched: concurrent committers share one flush.
 	// Frames stay pinned until the records are durable; they are
@@ -451,11 +588,29 @@ func (t *Txn) Commit() error {
 	// rolling the frames back could contradict a log that did reach the
 	// device), which keeps the pool from leaking pinned frames.
 	err = m.groupFlush(clk, lsn)
+	if err == nil {
+		// The commit record is durable and the versions are sealed: new
+		// snapshots may begin at (or past) this commit.
+		m.log.PublishCommit(lsn)
+	}
 	for _, p := range t.pres {
 		m.inst.Pool.Unpin(t.id, p.obj, p.page)
 	}
 	m.gate.RUnlock()
 	return err
+}
+
+// pageRefs lists the pages of the transaction's first-touch capture set
+// (the pages whose pending chain versions it owns).
+func (t *Txn) pageRefs() []bufferpool.PageRef {
+	if len(t.pres) == 0 {
+		return nil
+	}
+	refs := make([]bufferpool.PageRef, 0, len(t.pres))
+	for _, p := range t.pres {
+		refs = append(refs, bufferpool.PageRef{Obj: p.obj, Page: p.page})
+	}
+	return refs
 }
 
 // groupFlush makes lsn durable through the commit batch: the first
@@ -470,6 +625,12 @@ func (m *Manager) groupFlush(clk *simclock.Clock, lsn wal.LSN) error {
 		}
 		b.n++
 		m.gcMu.Unlock()
+		// A follower submits no I/O while the leader flushes: withdraw
+		// it from any closed scheduler population for the wait.
+		if park := m.parkFn(clk); park != nil {
+			park(true)
+			defer park(false)
+		}
 		<-b.done
 		clk.AdvanceTo(b.doneAt)
 		return b.err
@@ -487,7 +648,9 @@ func (m *Manager) groupFlush(clk *simclock.Clock, lsn wal.LSN) error {
 	maxLSN := b.maxLSN
 	m.gcMu.Unlock()
 	forceStart := clk.Now()
+	m.walLock(clk)
 	b.err = m.log.Flush(clk, maxLSN)
+	m.walUnlock()
 	b.doneAt = clk.Now()
 	m.gcBatches.Add(1)
 	m.gcTxns.Add(int64(b.n))
@@ -522,12 +685,13 @@ func (t *Txn) Abort() error {
 	}
 	t.finished = true
 	if t.readOnly {
+		t.endSnapshot()
 		return nil
 	}
 	m := t.m
 	m.inst.Pool.UnbindTxn(&t.sess.Clk)
 	t.restoreFrames()
-	m.lm.ReleaseAll(t.id)
+	m.lm.ReleaseAllAt(t.id, t.sess.Clk.Now())
 	_, err := m.log.Append(&t.sess.Clk, wal.Record{Txn: t.id, Kind: wal.KindAbort})
 	m.aborts.Add(1)
 	m.mAborts.Inc()

@@ -26,6 +26,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hstoragedb/internal/engine/bufferpool"
@@ -187,10 +188,16 @@ type Manager struct {
 	lastLSN       LSN // last appended
 	durableLSN    LSN
 	checkpointLSN LSN
-	nextTxn       int64
+	nextTxn       atomic.Int64
 
 	lastFlushStart simclock.Duration
 	lastFlushDone  simclock.Duration
+
+	// watermark is the commit-LSN watermark of the MVCC snapshot store:
+	// the highest commit LSN whose transaction is durable and whose page
+	// versions are sealed. Snapshots begin here. Atomic (read on every
+	// snapshot begin, outside mu).
+	watermark atomic.Int64
 
 	stats Stats
 
@@ -328,8 +335,9 @@ func Exists(store *pagestore.Store, cfg Config) bool {
 // if a WAL already exists in the store (use Recover instead).
 func New(clk *simclock.Clock, mgr *storagemgr.Manager, cfg Config) (*Manager, error) {
 	cfg = cfg.withDefaults()
-	m := &Manager{cfg: cfg, mgr: mgr, nextLSN: 1, nextTxn: 1,
+	m := &Manager{cfg: cfg, mgr: mgr, nextLSN: 1,
 		segBuf: make([]byte, 0, cfg.segCapacity())}
+	m.nextTxn.Store(1)
 	if err := mgr.Store().Create(cfg.BaseObject); err != nil {
 		return nil, fmt.Errorf("wal: log already exists (recover it instead): %w", err)
 	}
@@ -348,13 +356,12 @@ func (m *Manager) writeMeta(clk *simclock.Clock) error {
 		encodeMeta(m.oldestSeg, m.activeSeg+1, m.checkpointLSN))
 }
 
-// NextTxnID allocates a transaction identifier.
+// NextTxnID allocates a transaction identifier. It is deliberately
+// lock-free: Begin must not queue behind a committer's log force (the
+// WAL mutex is held across it), both for latency and because a stream
+// blocked there cannot park itself for a closed scheduler population.
 func (m *Manager) NextTxnID() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	id := m.nextTxn
-	m.nextTxn++
-	return id
+	return m.nextTxn.Add(1) - 1
 }
 
 // Append buffers one record and returns its LSN. No log I/O happens
@@ -478,6 +485,9 @@ func (m *Manager) Checkpoint(clk *simclock.Clock, pool *bufferpool.Pool) error {
 	m.checkpointLSN = lsn
 	m.stats.Checkpoints++
 	m.mCheckpoints.Inc()
+	// Everything below the checkpoint is committed and on disk: the
+	// snapshot watermark may advance past any pre-checkpoint commit.
+	m.PublishCommit(lsn)
 	for seq := m.oldestSeg; seq < m.activeSeg; seq++ {
 		if err := m.mgr.DeleteObject(clk, m.segObject(seq)); err != nil {
 			return err
@@ -511,6 +521,26 @@ func (m *Manager) DurableLSN() LSN {
 	return m.durableLSN
 }
 
+// PublishCommit advances the commit-LSN watermark to lsn (monotonic: a
+// lower value is a no-op). The transaction layer publishes a commit here
+// only after its commit record is durable and its page versions are
+// sealed, so a snapshot taken at the watermark observes a consistent
+// committed state.
+func (m *Manager) PublishCommit(lsn LSN) {
+	for {
+		cur := m.watermark.Load()
+		if int64(lsn) <= cur || m.watermark.CompareAndSwap(cur, int64(lsn)) {
+			return
+		}
+	}
+}
+
+// CommitWatermark returns the current commit-LSN watermark: the snapshot
+// LSN a read-only transaction beginning now uses.
+func (m *Manager) CommitWatermark() LSN {
+	return LSN(m.watermark.Load())
+}
+
 // Stats returns a snapshot of the counters.
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
@@ -542,8 +572,9 @@ type RecoveryStats struct {
 func Recover(clk *simclock.Clock, mgr *storagemgr.Manager, cfg Config) (*Manager, *RecoveryStats, error) {
 	cfg = cfg.withDefaults()
 	start := clk.Now()
-	m := &Manager{cfg: cfg, mgr: mgr, nextLSN: 1, nextTxn: 1,
+	m := &Manager{cfg: cfg, mgr: mgr, nextLSN: 1,
 		segBuf: make([]byte, 0, cfg.segCapacity())}
+	m.nextTxn.Store(1)
 	meta, err := mgr.ReadPage(clk, logTag(cfg.BaseObject), 0)
 	if err != nil {
 		return nil, nil, fmt.Errorf("wal: no log to recover: %w", err)
@@ -592,15 +623,19 @@ func Recover(clk *simclock.Clock, mgr *storagemgr.Manager, cfg Config) (*Manager
 	stats.Records = len(records)
 
 	committed := make(map[int64]bool)
+	maxCommit := m.checkpointLSN
 	for _, r := range records {
 		if r.LSN >= m.nextLSN {
 			m.nextLSN = r.LSN + 1
 		}
-		if r.Txn >= m.nextTxn {
-			m.nextTxn = r.Txn + 1
+		if r.Txn >= m.nextTxn.Load() {
+			m.nextTxn.Store(r.Txn + 1)
 		}
 		if r.Kind == KindCommit {
 			committed[r.Txn] = true
+			if r.LSN > maxCommit {
+				maxCommit = r.LSN
+			}
 		}
 	}
 	if m.checkpointLSN >= m.nextLSN {
@@ -608,6 +643,9 @@ func Recover(clk *simclock.Clock, mgr *storagemgr.Manager, cfg Config) (*Manager
 	}
 	m.lastLSN = m.nextLSN - 1
 	m.durableLSN = m.lastLSN
+	// The recovered state is exactly the committed single-version state:
+	// snapshots may begin at the newest recovered commit immediately.
+	m.watermark.Store(int64(maxCommit))
 
 	// Redo in LSN order: committed page images past the last checkpoint
 	// only — the checkpoint flushed everything older, and each record

@@ -433,6 +433,15 @@ func (g *Group) Register(clk *simclock.Clock) {
 	g.mu.Unlock()
 }
 
+// Registered reports whether the stream is currently enrolled in the
+// closed population.
+func (g *Group) Registered(clk *simclock.Clock) bool {
+	g.mu.Lock()
+	_, ok := g.registered[clk]
+	g.mu.Unlock()
+	return ok
+}
+
 // Unregister withdraws a stream from the closed population. The stream
 // must have no submission in flight. When the last stream leaves, any
 // queued work is drained.
