@@ -10,8 +10,9 @@
 // leaves whose relative change exceeds the -warn threshold are listed.
 // benchdiff always exits 0 when both files parse — drift is a warning,
 // not a failure — so CI can surface regressions without going red over
-// simulator noise. It exits 1 only on unreadable input or a schema it
-// doesn't know.
+// simulator noise. It exits 1 only on unreadable input, a schema it
+// doesn't know, or two files whose schema versions differ (comparing
+// incompatible layouts leaf-by-leaf would be silently meaningless).
 package main
 
 import (
@@ -39,8 +40,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-warn 0.2] old.json new.json")
 		os.Exit(1)
 	}
-	oldDoc := load(flag.Arg(0))
-	newDoc := load(flag.Arg(1))
+	oldDoc, err := load(flag.Arg(0))
+	if err == nil {
+		var newDoc benchFile
+		newDoc, err = load(flag.Arg(1))
+		if err == nil && newDoc.Schema != oldDoc.Schema {
+			err = fmt.Errorf("schema mismatch: %s is %q, %s is %q — regenerate both with the same hbench",
+				flag.Arg(0), oldDoc.Schema, flag.Arg(1), newDoc.Schema)
+		}
+		if err == nil {
+			diff(oldDoc, newDoc, *warn, *abs)
+			return
+		}
+	}
+	log.Fatalf("benchdiff: %v", err)
+}
+
+func diff(oldDoc, newDoc benchFile, warn, abs float64) {
 
 	oldLeaves := map[string]float64{}
 	flatten("", oldDoc.Experiments, oldLeaves)
@@ -58,13 +74,13 @@ func main() {
 	drifted := 0
 	for _, p := range paths {
 		a, b := oldLeaves[p], newLeaves[p]
-		if math.Abs(a) < *abs && math.Abs(b) < *abs {
+		if math.Abs(a) < abs && math.Abs(b) < abs {
 			continue
 		}
 		d := drift(a, b)
-		if d > *warn {
+		if d > warn {
 			drifted++
-			fmt.Printf("WARN %-70s %14g -> %-14g (%+.1f%%)\n", p, a, b, 100*(b-a)/math.Max(math.Abs(a), *abs))
+			fmt.Printf("WARN %-70s %14g -> %-14g (%+.1f%%)\n", p, a, b, 100*(b-a)/math.Max(math.Abs(a), abs))
 		}
 	}
 	onlyOld, onlyNew := 0, 0
@@ -78,26 +94,32 @@ func main() {
 			onlyNew++
 		}
 	}
-	fmt.Printf("benchdiff: %d comparable leaves, %d over %.0f%% drift", len(paths), drifted, 100**warn)
+	fmt.Printf("benchdiff: %d comparable leaves, %d over %.0f%% drift", len(paths), drifted, 100*warn)
 	if onlyOld > 0 || onlyNew > 0 {
 		fmt.Printf(" (%d only in old, %d only in new)", onlyOld, onlyNew)
 	}
 	fmt.Println()
 }
 
-func load(path string) benchFile {
+// knownSchemas are the -json document versions this benchdiff can diff.
+var knownSchemas = map[string]bool{"hbench/v1": true}
+
+// load reads and validates one hbench -json document. An unknown or
+// missing schema is an error — diffing documents whose layout this
+// binary does not understand would silently compare unrelated leaves.
+func load(path string) (benchFile, error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
-		log.Fatalf("benchdiff: %v", err)
+		return benchFile{}, err
 	}
 	var doc benchFile
 	if err := json.Unmarshal(buf, &doc); err != nil {
-		log.Fatalf("benchdiff: %s: %v", path, err)
+		return benchFile{}, fmt.Errorf("%s: %v", path, err)
 	}
-	if doc.Schema != "hbench/v1" {
-		log.Fatalf("benchdiff: %s: unknown schema %q (want hbench/v1; regenerate with a current hbench)", path, doc.Schema)
+	if !knownSchemas[doc.Schema] {
+		return benchFile{}, fmt.Errorf("%s: unknown schema %q (want hbench/v1; regenerate with a current hbench)", path, doc.Schema)
 	}
-	return doc
+	return doc, nil
 }
 
 // flatten walks a decoded JSON tree collecting numeric leaves keyed by

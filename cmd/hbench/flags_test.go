@@ -1,0 +1,68 @@
+package main
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestParseShards(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+		err  bool
+	}{
+		{in: "1,2,4", want: []int{1, 2, 4}},
+		{in: " 2 , 8 ", want: []int{2, 8}},
+		{in: "0,-3,4", want: []int{1, 1, 4}}, // below one clamps, like -txns
+		{in: "4", want: []int{4}},
+		{in: "two", err: true},
+		{in: "1,2,x", err: true},
+		{in: "", err: true},
+		{in: " , ", err: true},
+	}
+	for _, c := range cases {
+		got, err := parseShards(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("parseShards(%q): want error, got %v", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseShards(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseShards(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestClampXShard(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{0.2, 0.2},
+		{1, 1},
+		{-0.5, 0},
+		{1.5, 1},
+		{math.NaN(), 0},
+	}
+	for _, c := range cases {
+		if got := clampXShard(c.in); got != c.want {
+			t.Errorf("clampXShard(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseWorkersRejectsBadCounts(t *testing.T) {
+	for _, bad := range []string{"", "0", "-1", "1,zero"} {
+		if got, err := parseWorkers(bad); err == nil {
+			t.Errorf("parseWorkers(%q): want error, got %v", bad, got)
+		}
+	}
+	got, err := parseWorkers("1, 4 ,8")
+	if err != nil || !reflect.DeepEqual(got, []int{1, 4, 8}) {
+		t.Errorf("parseWorkers(\"1, 4 ,8\") = %v, %v", got, err)
+	}
+}

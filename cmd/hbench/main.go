@@ -11,7 +11,7 @@
 //
 // Experiments: fig4, fig5, table4, fig6, table5, table6, fig9, table7,
 // fig11 (includes table8), table9, fig12, oltp, iosched, txnscale,
-// tenants, htap, all.
+// tenants, htap, shards, all.
 //
 // With -json, every experiment's structured results are also written to
 // the given file as one versioned JSON document (schema "hbench/v1")
@@ -61,7 +61,7 @@ type benchFile struct {
 
 func main() {
 	log.SetFlags(0)
-	exp := flag.String("exp", "all", "comma-separated experiment ids (fig4 fig5 table4 fig6 table5 table6 fig9 table7 fig11 table9 fig12 oltp iosched txnscale tenants htap all)")
+	exp := flag.String("exp", "all", "comma-separated experiment ids (fig4 fig5 table4 fig6 table5 table6 fig9 table7 fig11 table9 fig12 oltp iosched txnscale tenants htap shards all)")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
 	cache := flag.Float64("cache", 0.7, "SSD cache size as a fraction of total data pages")
 	bp := flag.Float64("bp", 0.04, "buffer pool size as a fraction of total data pages")
@@ -73,6 +73,8 @@ func main() {
 	tenantsFlag := flag.String("tenants", "4,2,1,1", "comma-separated tenant weights for the tenants experiment (tenant IDs 1..n)")
 	scanBlocks := flag.Int("scanblocks", 3000, "per-tenant scan-stream demand in blocks for the tenants experiment")
 	scanRounds := flag.Int("scanrounds", 6, "revenue sweeps by the analytics stream in the htap experiment")
+	shardsFlag := flag.String("shards", "1,2,4", "comma-separated shard counts for the shards experiment (counts below 1 are clamped to 1)")
+	xshard := flag.Float64("xshard", 0.2, "fraction of cross-shard transfers in the shards experiment's cross-shard arm (clamped into [0,1])")
 	jsonPath := flag.String("json", "", "write per-experiment metrics to this file as versioned JSON (schema hbench/v1)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file of every layer's spans (open in Perfetto)")
 	traceCap := flag.Int("tracecap", 0, "trace ring-buffer capacity in spans (0 = default 65536; oldest spans drop first)")
@@ -124,6 +126,11 @@ func main() {
 	if err != nil {
 		log.Fatalf("-tenants: %v", err)
 	}
+	shardCounts, err := parseShards(*shardsFlag)
+	if err != nil {
+		log.Fatalf("-shards: %v", err)
+	}
+	*xshard = clampXShard(*xshard)
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*exp, ",") {
@@ -290,6 +297,19 @@ func main() {
 		fmt.Print(experiments.FormatHTAP(runs))
 		return runs, nil
 	})
+	run("shards", func() (any, error) {
+		// The largest -workers entry drives every sweep point; -txns is
+		// the cluster-wide total per point, as in txnscale. The sweep is
+		// self-contained (it builds its own accounts clusters, not the
+		// TPC-H env) but shares the observability set, so per-shard
+		// labelled series land in -metrics/-trace output.
+		runs, err := experiments.ShardsAll(shardCounts, workers[len(workers)-1], *txns, *xshard, *seed, set)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Print(experiments.FormatShards(runs))
+		return runs, nil
+	})
 	if has("table9") || has("fig12") {
 		ran = true
 		tEnv, err := experiments.NewEnv(cfg.ThroughputConfig())
@@ -377,6 +397,43 @@ func parseTenants(s string) ([]experiments.TenantSpec, error) {
 		return nil, fmt.Errorf("no tenant weights")
 	}
 	return out, nil
+}
+
+// parseShards parses the -shards flag: a comma-separated list of shard
+// counts. Malformed entries are errors; counts below one are clamped to
+// a single shard (the same tolerance -txns gets), since a zero-shard
+// cluster has no meaning but the sweep can still run.
+func parseShards(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad shard count %q", part)
+		}
+		if n < 1 {
+			n = 1
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no shard counts")
+	}
+	return out, nil
+}
+
+// clampXShard clamps the cross-shard fraction into [0,1]; NaN becomes 0.
+func clampXShard(x float64) float64 {
+	if !(x > 0) { // catches NaN too
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
 }
 
 // parseWorkers parses the -workers flag: a comma-separated list of

@@ -28,6 +28,7 @@ var auditedPackages = []string{
 	"internal/engine/txn",
 	"internal/engine/wal",
 	"internal/obs",
+	"internal/shard",
 }
 
 // hasDoc reports whether a doc comment is present and non-trivial.

@@ -346,6 +346,12 @@ type Txn struct {
 	pres     []preimage
 	finished bool
 
+	// 2PC participant state: set by Prepare, cleared by CommitPrepared
+	// or Abort. While prepared, the transaction holds its locks and pins
+	// and its outcome belongs to the coordinator.
+	prepared bool
+	gtid     int64
+
 	// Snapshot state (readOnly transactions): the snapshot LSN the
 	// session stream is bound to and the virtual begin time (for the
 	// snapshot-age span).
@@ -484,6 +490,9 @@ func (t *Txn) Commit() error {
 	if t.finished {
 		return fmt.Errorf("txn %d: already finished", t.id)
 	}
+	if t.prepared {
+		return fmt.Errorf("txn %d: prepared; its outcome belongs to the coordinator", t.id)
+	}
 	t.finished = true
 	if t.readOnly {
 		t.endSnapshot()
@@ -600,6 +609,155 @@ func (t *Txn) Commit() error {
 	return err
 }
 
+// Prepare runs the participant's first phase of two-phase commit: the
+// transaction's page records and a prepare record carrying the global
+// transaction ID reach the log and are forced durable, riding the same
+// group-commit batch as ordinary commit records. The page locks, the
+// frame pins, and the drain-barrier hold all stay — the transaction is
+// in doubt until the coordinator's decision arrives via CommitPrepared
+// or Abort. After a successful Prepare the participant has promised it
+// can commit: a crash no longer loses the transaction; recovery holds
+// it back for resolution against the coordinator's decision log.
+func (t *Txn) Prepare(gtid int64) error {
+	if t.finished {
+		return fmt.Errorf("txn %d: already finished", t.id)
+	}
+	if t.prepared {
+		return fmt.Errorf("txn %d: already prepared", t.id)
+	}
+	if t.readOnly {
+		return fmt.Errorf("txn %d: read-only transactions cannot prepare", t.id)
+	}
+	m := t.m
+	clk := &t.sess.Clk
+	m.inst.Pool.UnbindTxn(clk)
+
+	// Same final-image dedup as Commit: only the last image per touched
+	// page needs redo.
+	finalImage := make(map[pageKey]int, len(t.writes))
+	for i, w := range t.writes {
+		finalImage[pageKey{obj: w.tag.Object, page: w.page}] = i
+	}
+	m.walLock(clk)
+	for i, w := range t.writes {
+		if finalImage[pageKey{obj: w.tag.Object, page: w.page}] != i {
+			continue
+		}
+		_, err := m.log.Append(clk, wal.Record{
+			Txn: t.id, Kind: w.kind, Obj: w.tag.Object, Page: w.page, Image: w.post,
+		})
+		if err != nil {
+			m.walUnlock()
+			t.finished = true
+			t.restoreFrames()
+			m.lm.ReleaseAllAt(t.id, clk.Now())
+			m.gate.RUnlock()
+			return err
+		}
+	}
+	m.seqMu.Lock()
+	if m.dead.Load() {
+		m.seqMu.Unlock()
+		m.walUnlock()
+		t.finished = true
+		m.lm.ReleaseAllAt(t.id, clk.Now())
+		m.gate.RUnlock()
+		return ErrCrashed
+	}
+	lsn, err := m.log.Append(clk, wal.Record{Txn: t.id, Kind: wal.KindPrepare, Page: gtid})
+	m.seqMu.Unlock()
+	m.walUnlock()
+	if err != nil {
+		t.finished = true
+		t.restoreFrames()
+		m.lm.ReleaseAllAt(t.id, clk.Now())
+		m.gate.RUnlock()
+		return err
+	}
+	if err := m.groupFlush(clk, lsn); err != nil {
+		// Almost always a crash mid-force: the prepare never became
+		// durable on this path, so presumed abort applies. The locks are
+		// released so concurrent work fails promptly; pins die with the
+		// pool.
+		t.finished = true
+		m.lm.ReleaseAllAt(t.id, clk.Now())
+		m.gate.RUnlock()
+		return err
+	}
+	t.prepared = true
+	t.gtid = gtid
+	return nil
+}
+
+// Prepared reports whether the transaction is sitting in the prepared
+// state, awaiting the coordinator's decision.
+func (t *Txn) Prepared() bool { return t.prepared }
+
+// CommitPrepared applies the coordinator's commit decision to a
+// prepared transaction: the local commit record (stamped with the GTID)
+// is appended and forced, the page versions seal, and the locks and
+// pins finally release. The caller must hold a durable coordinator
+// decision for the GTID it passed to Prepare. The crash harness's
+// CrashAtCommit counts these like ordinary commits, which is exactly
+// the "participant dies holding prepared locks" injection point.
+func (t *Txn) CommitPrepared() error {
+	if t.finished {
+		return fmt.Errorf("txn %d: already finished", t.id)
+	}
+	if !t.prepared {
+		return fmt.Errorf("txn %d: not prepared", t.id)
+	}
+	t.finished = true
+	t.prepared = false
+	m := t.m
+	clk := &t.sess.Clk
+	m.walLock(clk)
+	m.seqMu.Lock()
+	if m.dead.Load() {
+		m.seqMu.Unlock()
+		m.walUnlock()
+		m.lm.ReleaseAllAt(t.id, clk.Now())
+		m.gate.RUnlock()
+		return ErrCrashed
+	}
+	if m.crashAtCommit != 0 && m.commits.Load()+1 >= m.crashAtCommit {
+		// Simulated kill between the coordinator's decision and this
+		// participant's phase-2 commit record: the prepare is durable, so
+		// recovery holds the transaction in doubt and the decision log
+		// resolves it to commit.
+		m.dead.Store(true)
+		m.seqMu.Unlock()
+		m.walUnlock()
+		m.lm.ReleaseAllAt(t.id, clk.Now())
+		m.gate.RUnlock()
+		return ErrCrashed
+	}
+	lsn, err := m.log.Append(clk, wal.Record{Txn: t.id, Kind: wal.KindCommit, Page: t.gtid})
+	if err != nil {
+		m.seqMu.Unlock()
+		m.walUnlock()
+		t.restoreFrames()
+		m.lm.ReleaseAllAt(t.id, clk.Now())
+		m.gate.RUnlock()
+		return err
+	}
+	m.commits.Add(1)
+	m.mCommits.Inc()
+	m.inst.Pool.CommitVersions(t.id, int64(lsn), int64(m.log.CommitWatermark()), t.pageRefs())
+	m.seqMu.Unlock()
+	m.walUnlock()
+	m.lm.ReleaseAllAt(t.id, clk.Now())
+	err = m.groupFlush(clk, lsn)
+	if err == nil {
+		m.log.PublishCommit(lsn)
+	}
+	for _, p := range t.pres {
+		m.inst.Pool.Unpin(t.id, p.obj, p.page)
+	}
+	m.gate.RUnlock()
+	return err
+}
+
 // pageRefs lists the pages of the transaction's first-touch capture set
 // (the pages whose pending chain versions it owns).
 func (t *Txn) pageRefs() []bufferpool.PageRef {
@@ -692,7 +850,16 @@ func (t *Txn) Abort() error {
 	m.inst.Pool.UnbindTxn(&t.sess.Clk)
 	t.restoreFrames()
 	m.lm.ReleaseAllAt(t.id, t.sess.Clk.Now())
-	_, err := m.log.Append(&t.sess.Clk, wal.Record{Txn: t.id, Kind: wal.KindAbort})
+	rec := wal.Record{Txn: t.id, Kind: wal.KindAbort}
+	if t.prepared {
+		// Aborting a prepared transaction (coordinator decided abort, or
+		// presumed abort after a coordinator crash): stamp the GTID so
+		// the log reads as the phase-2 abort it is. Presumed abort means
+		// the record needs no force.
+		rec.Page = t.gtid
+		t.prepared = false
+	}
+	_, err := m.log.Append(&t.sess.Clk, rec)
 	m.aborts.Add(1)
 	m.mAborts.Inc()
 	m.gate.RUnlock()

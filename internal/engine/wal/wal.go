@@ -25,6 +25,7 @@ package wal
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -68,6 +69,28 @@ const (
 	// KindCheckpoint marks a fuzzy checkpoint: every committed effect
 	// below this LSN is on disk, so earlier segments can be truncated.
 	KindCheckpoint Kind = 9
+
+	// KindPrepare marks a transaction prepared under two-phase commit:
+	// its page records precede it in the log, its locks are still held,
+	// and its fate belongs to the coordinator. The record's Page field
+	// carries the global transaction ID (GTID) so recovery can match the
+	// local transaction against the coordinator's decision log. A
+	// prepared transaction without a later commit/abort record is
+	// in-doubt at recovery, not a loser.
+	KindPrepare Kind = 10
+	// KindDecideCommit is a coordinator decision-log record: the global
+	// transaction (Txn holds the GTID) is committed. Participants that
+	// recover in-doubt redo their prepared page records iff this record
+	// exists; its absence means abort (presumed abort).
+	KindDecideCommit Kind = 11
+	// KindDecideAbort is the advisory abort decision: recovery treats a
+	// missing decision as abort anyway, but logging it lets the decision
+	// log read like the history it is.
+	KindDecideAbort Kind = 12
+
+	// maxKind is the highest valid kind; parseRecord treats anything
+	// above it as the torn tail of a crashed write.
+	maxKind = KindDecideAbort
 )
 
 // String implements fmt.Stringer.
@@ -91,6 +114,12 @@ func (k Kind) String() string {
 		return "index-delete"
 	case KindCheckpoint:
 		return "checkpoint"
+	case KindPrepare:
+		return "prepare"
+	case KindDecideCommit:
+		return "decide-commit"
+	case KindDecideAbort:
+		return "decide-abort"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -199,6 +228,15 @@ type Manager struct {
 	// snapshot begin, outside mu).
 	watermark atomic.Int64
 
+	// indoubt holds the prepared-but-undecided transactions Recover
+	// found, keyed by local transaction ID, until ResolveInDoubt settles
+	// them. Guarded by mu.
+	indoubt map[int64]inDoubt
+	// decisions are the coordinator decisions Recover found in this log
+	// (GTID -> committed), populated only when recovering a decision
+	// log. Guarded by mu.
+	decisions map[int64]bool
+
 	stats Stats
 
 	// Registry instruments and tracer, nil (inert) until Use attaches a
@@ -258,7 +296,7 @@ func recordSize(r Record) int {
 // a truncated record: the torn tail of a crashed write) consumes nothing,
 // signalling the end of the durable log.
 func parseRecord(src []byte) (Record, int) {
-	if len(src) == 0 || Kind(src[0]) == kindEnd || Kind(src[0]) > KindCheckpoint {
+	if len(src) == 0 || Kind(src[0]) == kindEnd || Kind(src[0]) > maxKind {
 		return Record{}, 0
 	}
 	r := Record{Kind: Kind(src[0])}
@@ -559,8 +597,28 @@ type RecoveryStats struct {
 	Records       int
 	CommittedTxns int
 	LoserTxns     int // transactions without a commit record: discarded
-	PagesApplied  int
-	Elapsed       time.Duration
+	// InDoubtTxns counts prepared-but-undecided transactions: their page
+	// records are retained, not replayed, until ResolveInDoubt settles
+	// them against the coordinator's decision log.
+	InDoubtTxns  int
+	PagesApplied int
+	Elapsed      time.Duration
+}
+
+// inDoubt is one prepared-but-undecided transaction held back by
+// recovery: its global transaction ID and the page records to redo if
+// the coordinator's decision turns out to be commit.
+type inDoubt struct {
+	gtid    int64
+	records []Record
+}
+
+// InDoubtTxn identifies one prepared-but-undecided transaction surfaced
+// by Recover, pairing the participant-local transaction ID with the
+// global transaction ID its prepare record carried.
+type InDoubtTxn struct {
+	Txn  int64
+	GTID int64
 }
 
 // Recover opens an existing WAL after a crash: it scans every live
@@ -623,6 +681,8 @@ func Recover(clk *simclock.Clock, mgr *storagemgr.Manager, cfg Config) (*Manager
 	stats.Records = len(records)
 
 	committed := make(map[int64]bool)
+	aborted := make(map[int64]bool)
+	prepared := make(map[int64]int64) // local txn -> GTID
 	maxCommit := m.checkpointLSN
 	for _, r := range records {
 		if r.LSN >= m.nextLSN {
@@ -631,12 +691,45 @@ func Recover(clk *simclock.Clock, mgr *storagemgr.Manager, cfg Config) (*Manager
 		if r.Txn >= m.nextTxn.Load() {
 			m.nextTxn.Store(r.Txn + 1)
 		}
-		if r.Kind == KindCommit {
+		switch r.Kind {
+		case KindCommit:
 			committed[r.Txn] = true
 			if r.LSN > maxCommit {
 				maxCommit = r.LSN
 			}
+		case KindAbort:
+			aborted[r.Txn] = true
+		case KindPrepare:
+			prepared[r.Txn] = r.Page
+		case KindDecideCommit:
+			if m.decisions == nil {
+				m.decisions = make(map[int64]bool)
+			}
+			m.decisions[r.Txn] = true
+		case KindDecideAbort:
+			if m.decisions == nil {
+				m.decisions = make(map[int64]bool)
+			}
+			m.decisions[r.Txn] = false
 		}
+	}
+	// Prepared transactions without a decision are in-doubt: their page
+	// records are held back (neither replayed nor discarded) until the
+	// coordinator's decision log settles them through ResolveInDoubt.
+	for id, gtid := range prepared {
+		if committed[id] || aborted[id] {
+			continue
+		}
+		d := inDoubt{gtid: gtid}
+		for _, r := range records {
+			if r.Txn == id && r.Kind.PageRecord() {
+				d.records = append(d.records, r)
+			}
+		}
+		if m.indoubt == nil {
+			m.indoubt = make(map[int64]inDoubt)
+		}
+		m.indoubt[id] = d
 	}
 	if m.checkpointLSN >= m.nextLSN {
 		m.nextLSN = m.checkpointLSN + 1
@@ -661,20 +754,99 @@ func Recover(clk *simclock.Clock, mgr *storagemgr.Manager, cfg Config) (*Manager
 		stats.PagesApplied++
 	}
 	// Count transactions with activity past the checkpoint: the ones
-	// recovery actually decided about.
+	// recovery actually decided about. Coordinator decision records are
+	// not transaction activity in this log (their Txn field is a GTID),
+	// so they are excluded.
 	active := make(map[int64]bool)
 	for _, r := range records {
-		if r.Txn != 0 && r.LSN > m.checkpointLSN {
+		if r.Txn != 0 && r.LSN > m.checkpointLSN &&
+			r.Kind != KindDecideCommit && r.Kind != KindDecideAbort {
 			active[r.Txn] = true
 		}
 	}
 	for id := range active {
-		if committed[id] {
+		switch {
+		case committed[id]:
 			stats.CommittedTxns++
-		} else {
+		case m.indoubt != nil && hasInDoubt(m.indoubt, id):
+			stats.InDoubtTxns++
+		default:
 			stats.LoserTxns++
 		}
 	}
 	stats.Elapsed = clk.Now() - start
 	return m, stats, nil
+}
+
+func hasInDoubt(m map[int64]inDoubt, id int64) bool {
+	_, ok := m[id]
+	return ok
+}
+
+// InDoubt lists the prepared-but-undecided transactions Recover held
+// back, in ascending local-transaction order.
+func (m *Manager) InDoubt() []InDoubtTxn {
+	m.mu.Lock()
+	out := make([]InDoubtTxn, 0, len(m.indoubt))
+	for id, d := range m.indoubt {
+		out = append(out, InDoubtTxn{Txn: id, GTID: d.gtid})
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Txn < out[j].Txn })
+	return out
+}
+
+// Decisions returns the coordinator decisions Recover found in this log,
+// keyed by GTID (true = commit). Only a coordinator's decision log
+// carries decide records; recovering a participant log yields an empty
+// map.
+func (m *Manager) Decisions() map[int64]bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[int64]bool, len(m.decisions))
+	for gtid, c := range m.decisions {
+		out[gtid] = c
+	}
+	return out
+}
+
+// ResolveInDoubt settles one in-doubt transaction against the
+// coordinator's verdict. Commit redoes the retained page records and
+// logs a commit record (presumed abort: the decision record already made
+// the outcome durable at the coordinator, so this is the participant
+// catching up); abort logs only the abort record — no-steal means no
+// undo. Either way the outcome is forced durable before returning and
+// the transaction leaves the in-doubt set.
+func (m *Manager) ResolveInDoubt(clk *simclock.Clock, txnID int64, commit bool) error {
+	m.mu.Lock()
+	d, ok := m.indoubt[txnID]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("wal: txn %d is not in doubt", txnID)
+	}
+	delete(m.indoubt, txnID)
+	m.mu.Unlock()
+	if commit {
+		for _, r := range d.records {
+			tag := policy.Tag{Object: r.Obj, Content: contentOf(r.Kind), Pattern: policy.Random, Update: true}
+			if err := m.mgr.WritePage(clk, tag, r.Page, r.Image); err != nil {
+				return err
+			}
+		}
+	}
+	kind := KindAbort
+	if commit {
+		kind = KindCommit
+	}
+	lsn, err := m.Append(clk, Record{Txn: txnID, Kind: kind, Page: d.gtid})
+	if err != nil {
+		return err
+	}
+	if err := m.Flush(clk, lsn); err != nil {
+		return err
+	}
+	if commit {
+		m.PublishCommit(lsn)
+	}
+	return nil
 }

@@ -61,6 +61,17 @@ func (s *Set) Trace() *Tracer {
 	return s.Tracer
 }
 
+// With derives a set whose registry stamps the given labels onto every
+// instrument (see Registry.With); the tracer is shared unchanged. The
+// shard layer hands each engine stack a `shard=<id>` view so one
+// registry holds every shard's metrics side by side. Nil-safe.
+func (s *Set) With(labels ...Label) *Set {
+	if s == nil {
+		return nil
+	}
+	return &Set{Reg: s.Reg.With(labels...), Tracer: s.Tracer}
+}
+
 // Label is one key=value dimension attached to a metric, e.g. class or
 // tenant. Labels are part of the metric's identity in the registry.
 type Label struct {
@@ -198,7 +209,20 @@ func (hv *HistVar) Unit() string {
 // every later lookup. Lookups take the registry lock once; the returned
 // instrument is then updated with plain atomics, so hot paths cache the
 // instrument, not the name.
+//
+// A Registry value is a view onto shared state: With derives a view
+// that stamps extra labels onto every instrument it hands out, which is
+// how per-shard engine stacks register `wal.appends{shard=2}` and
+// friends without any layer knowing it runs inside a shard.
 type Registry struct {
+	s *regState
+	// base labels are appended to every lookup through this view.
+	base []Label
+}
+
+// regState is the shared instrument table behind one registry and all
+// of its derived views.
+type regState struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
@@ -208,10 +232,32 @@ type Registry struct {
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*HistVar),
+		s: &regState{
+			counters: make(map[string]*Counter),
+			gauges:   make(map[string]*Gauge),
+			hists:    make(map[string]*HistVar),
+		},
 	}
+}
+
+// With returns a view of the registry whose instruments all carry the
+// given labels in addition to any per-lookup labels. The view shares
+// the parent's instrument table: snapshots and dumps of either show
+// both. Nil-safe (a nil registry derives a nil view).
+func (r *Registry) With(labels ...Label) *Registry {
+	if r == nil {
+		return nil
+	}
+	base := append(append([]Label(nil), r.base...), labels...)
+	return &Registry{s: r.s, base: base}
+}
+
+// withBase merges the view's base labels with the per-lookup ones.
+func (r *Registry) withBase(labels []Label) []Label {
+	if len(r.base) == 0 {
+		return labels
+	}
+	return append(append([]Label(nil), r.base...), labels...)
 }
 
 // key renders the canonical identity: name{k1=v1,k2=v2} with label keys
@@ -244,13 +290,13 @@ func (r *Registry) Counter(name string, labels ...Label) *Counter {
 	if r == nil {
 		return nil
 	}
-	k := key(name, labels)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	c := r.counters[k]
+	k := key(name, r.withBase(labels))
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	c := r.s.counters[k]
 	if c == nil {
 		c = &Counter{}
-		r.counters[k] = c
+		r.s.counters[k] = c
 	}
 	return c
 }
@@ -261,13 +307,13 @@ func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 	if r == nil {
 		return nil
 	}
-	k := key(name, labels)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	g := r.gauges[k]
+	k := key(name, r.withBase(labels))
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	g := r.s.gauges[k]
 	if g == nil {
 		g = &Gauge{}
-		r.gauges[k] = g
+		r.s.gauges[k] = g
 	}
 	return g
 }
@@ -287,16 +333,16 @@ func (r *Registry) HistogramWith(bounds []time.Duration, unit string, name strin
 	if r == nil {
 		return nil
 	}
-	k := key(name, labels)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	hv := r.hists[k]
+	k := key(name, r.withBase(labels))
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	hv := r.s.hists[k]
 	if hv == nil {
 		hv = &HistVar{unit: unit}
 		if bounds != nil {
 			hv.h = NewHistogram(bounds)
 		}
-		r.hists[k] = hv
+		r.s.hists[k] = hv
 	}
 	return hv
 }
@@ -324,16 +370,16 @@ func (r *Registry) Snapshot() []Metric {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.hists))
-	for k, c := range r.counters {
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	out := make([]Metric, 0, len(r.s.counters)+len(r.s.gauges)+len(r.s.hists))
+	for k, c := range r.s.counters {
 		out = append(out, Metric{Name: k, Kind: "counter", Value: c.Value()})
 	}
-	for k, g := range r.gauges {
+	for k, g := range r.s.gauges {
 		out = append(out, Metric{Name: k, Kind: "gauge", Value: g.Value()})
 	}
-	for k, hv := range r.hists {
+	for k, hv := range r.s.hists {
 		out = append(out, Metric{Name: k, Kind: "histogram", Hist: hv.Snapshot(), Unit: hv.unit})
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -436,15 +482,15 @@ func (r *Registry) Reset() {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for _, c := range r.counters {
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	for _, c := range r.s.counters {
 		c.v.Store(0)
 	}
-	for _, g := range r.gauges {
+	for _, g := range r.s.gauges {
 		g.v.Store(0)
 	}
-	for _, hv := range r.hists {
+	for _, hv := range r.s.hists {
 		hv.mu.Lock()
 		hv.h = Histogram{bounds: hv.h.bounds}
 		hv.mu.Unlock()
