@@ -1,0 +1,40 @@
+# Developer entry points. CI runs the same commands; nothing here is
+# load-bearing for the build (plain `go build ./...` works).
+
+GO ?= go
+# benchstat-friendly sample count: `make bench` twice (before/after a
+# change) and feed the two files to golang.org/x/perf/cmd/benchstat.
+BENCH_COUNT ?= 10
+BENCH_OUT ?= bench.txt
+
+.PHONY: test race bench hotpath lint
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Scheduler hot-path microbenchmarks (indexed vs linear picker across
+# queue depths, plus the full opportunistic submit path). -benchmem
+# backs the ~0 allocs/op claim; repeated -count samples make the output
+# benchstat-ready:
+#
+#   make bench BENCH_OUT=old.txt
+#   ... edit ...
+#   make bench BENCH_OUT=new.txt
+#   benchstat old.txt new.txt
+bench:
+	$(GO) test ./internal/iosched -run '^$$' -bench 'BenchmarkSubmit' \
+		-benchmem -count $(BENCH_COUNT) | tee $(BENCH_OUT)
+
+# The experiment-level view of the same hot path (grants/sec, allocs/op,
+# anticipatory HDD arm), as committed in BENCH_hotpath.json.
+hotpath:
+	$(GO) run ./cmd/hbench -exp hotpath
+
+# gofmt + vet, the fast pre-push check; the doc and clock-purity lints
+# run inside `make test` (internal/doclint).
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...

@@ -11,7 +11,7 @@
 //
 // Experiments: fig4, fig5, table4, fig6, table5, table6, fig9, table7,
 // fig11 (includes table8), table9, fig12, oltp, iosched, txnscale,
-// tenants, htap, shards, all.
+// tenants, htap, shards, hotpath, all.
 //
 // With -json, every experiment's structured results are also written to
 // the given file as one versioned JSON document (schema "hbench/v1")
@@ -61,7 +61,7 @@ type benchFile struct {
 
 func main() {
 	log.SetFlags(0)
-	exp := flag.String("exp", "all", "comma-separated experiment ids (fig4 fig5 table4 fig6 table5 table6 fig9 table7 fig11 table9 fig12 oltp iosched txnscale tenants htap shards all)")
+	exp := flag.String("exp", "all", "comma-separated experiment ids (fig4 fig5 table4 fig6 table5 table6 fig9 table7 fig11 table9 fig12 oltp iosched txnscale tenants htap shards hotpath all)")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
 	cache := flag.Float64("cache", 0.7, "SSD cache size as a fraction of total data pages")
 	bp := flag.Float64("bp", 0.04, "buffer pool size as a fraction of total data pages")
@@ -309,6 +309,16 @@ func main() {
 		}
 		fmt.Print(experiments.FormatShards(runs))
 		return runs, nil
+	})
+	run("hotpath", func() (any, error) {
+		// Scheduler hot-path microbenchmark: wall-clock ns/op and
+		// allocs/op for the pick/grant engine (indexed vs the reference
+		// linear picker), opportunistic-submit scaling, and the
+		// deterministic anticipatory HDD arm. Self-contained — it builds
+		// its own schedulers and ignores the TPC-H env.
+		res := experiments.HotpathAll()
+		fmt.Print(experiments.FormatHotpath(res))
+		return res, nil
 	})
 	if has("table9") || has("fig12") {
 		ran = true

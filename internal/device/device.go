@@ -472,6 +472,53 @@ func (d *Device) ObserveTenantLatency(tenant int, lat time.Duration) {
 	hv.Observe(lat)
 }
 
+// LatencySample is one completed-request latency for ObserveLatencyBatch.
+// A negative Tenant marks an unattributed request: its latency is
+// recorded per class only.
+type LatencySample struct {
+	Class  int
+	Tenant int
+	Lat    time.Duration
+}
+
+// ObserveLatencyBatch records a batch of request latencies under a
+// single lock acquisition — the completion-flush path of the I/O
+// scheduler, which otherwise pays one lock round-trip per completed
+// request in a coalesced grant. Equivalent to ObserveLatency (plus
+// ObserveTenantLatency for attributed samples) per entry.
+func (d *Device) ObserveLatencyBatch(samples []LatencySample) {
+	if len(samples) == 0 {
+		return
+	}
+	d.mu.Lock()
+	for _, s := range samples {
+		h := d.hists[s.Class]
+		if h == nil {
+			if d.hists == nil {
+				d.hists = make(map[int]*LatencyHist)
+			}
+			h = &LatencyHist{}
+			d.hists[s.Class] = h
+		}
+		h.Observe(s.Lat)
+		d.classLatLocked(s.Class).Observe(s.Lat)
+		if s.Tenant < 0 {
+			continue
+		}
+		th := d.tenantHists[s.Tenant]
+		if th == nil {
+			if d.tenantHists == nil {
+				d.tenantHists = make(map[int]*LatencyHist)
+			}
+			th = &LatencyHist{}
+			d.tenantHists[s.Tenant] = th
+		}
+		th.Observe(s.Lat)
+		d.tenantLatLocked(s.Tenant).Observe(s.Lat)
+	}
+	d.mu.Unlock()
+}
+
 // Stats returns a snapshot of the device counters, including per-class
 // and per-tenant latency histograms.
 func (d *Device) Stats() Stats {

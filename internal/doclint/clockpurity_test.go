@@ -1,0 +1,91 @@
+package doclint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// virtualTimePackages are the source directories that must run entirely
+// on the simulated clock: every latency in them is a device-model
+// computation on simclock time, so a single real-clock read would make
+// grant order (and with it every golden and BENCH artifact)
+// host-dependent. The experiments and cmd layers measure the simulator
+// itself and may use wall time; these two may not.
+var virtualTimePackages = []string{
+	"internal/device",
+	"internal/iosched",
+}
+
+// realClockCalls are the time-package selectors that read or wait on
+// the host clock. time.Duration arithmetic and the unit constants are
+// fine — they are plain numbers — so the lint bans exactly the calls
+// with a wall-clock side effect.
+var realClockCalls = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// TestNoRealClockInVirtualTimePackages walks the non-test sources of
+// the virtual-time packages and fails on any time.<realClockCall>
+// selector.
+func TestNoRealClockInVirtualTimePackages(t *testing.T) {
+	root := filepath.Join("..", "..")
+	for _, pkg := range virtualTimePackages {
+		dir := filepath.Join(root, filepath.FromSlash(pkg))
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg, err)
+		}
+		for _, p := range pkgs {
+			for _, f := range p.Files {
+				// Selector matching is syntactic, so only flag files that
+				// actually import the real "time" package (all of them, in
+				// practice — time.Duration is the repo's timestamp type).
+				if !importsTime(f) {
+					continue
+				}
+				ast.Inspect(f, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					id, ok := sel.X.(*ast.Ident)
+					if !ok || id.Name != "time" || !realClockCalls[sel.Sel.Name] {
+						return true
+					}
+					pos := fset.Position(sel.Pos())
+					t.Errorf("%s:%d: real-clock call time.%s in virtual-time package %s",
+						pos.Filename, pos.Line, sel.Sel.Name, pkg)
+					return true
+				})
+			}
+		}
+	}
+}
+
+// importsTime reports whether a file imports "time" without renaming it
+// away from the default identifier.
+func importsTime(f *ast.File) bool {
+	for _, imp := range f.Imports {
+		if imp.Path.Value != `"time"` {
+			continue
+		}
+		return imp.Name == nil || imp.Name.Name == "time"
+	}
+	return false
+}

@@ -64,11 +64,22 @@
 // Deferral is also what makes destages cheap: queued LBA-adjacent
 // background writes coalesce into single large accesses instead of each
 // paying the positioning cost alone.
+//
+// # Hot path
+//
+// Per-request cost is kept near-constant: each scheduler owns its lock
+// (the group lock covers only the closed-population registry and
+// barrier rounds, so streams on different devices never serialize), the
+// picker runs on ordered indexes (index.go) instead of queue scans,
+// request/waiter/batch memory is pooled, and a grant's completion
+// latencies reach the device in one batched observation. Lock order is
+// Group.mu → Scheduler.mu → device/histogram internals.
 package iosched
 
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hstoragedb/internal/device"
@@ -127,6 +138,24 @@ type Config struct {
 	// disables the budget (background runs only when the device idles —
 	// the pre-throttling behaviour).
 	BackgroundShare float64
+
+	// AnticipatoryQuantum bounds consecutive elevator service of one
+	// stream, in granted blocks. Once a stream has been granted that
+	// many blocks back to back, the picker prefers the nearest same-band
+	// request from any other stream, so a stream parked at the head's
+	// LBA neighbourhood cannot monopolize an HDD elevator for the whole
+	// stretch between aging boosts. Zero (the default) disables the
+	// policy — here zero-means-default and default-is-off coincide, so
+	// no sentinel is needed. The aging bound is checked first and is
+	// never weakened by a switch. Ignored under LinearPick and FIFO.
+	AnticipatoryQuantum int
+
+	// LinearPick selects the reference picker: the original O(n) scans
+	// over one pending slice. The indexed picker (the default) grants
+	// in exactly the same order — a property enforced by a differential
+	// test — so this knob exists for that test and as the baseline arm
+	// of the hotpath experiment, not as a tuning choice.
+	LinearPick bool
 
 	// TenantWeights seeds the group's tenant fair-share weights (see
 	// Group.SetTenantWeight). Nil or empty leaves fair sharing off: the
@@ -226,15 +255,20 @@ func classRank(c dss.Class) int {
 // waiter tracks one Submit call; a multi-chunk submission shares one
 // waiter across its chunk requests. arrive and class feed the one
 // latency sample recorded per submission (not per chunk, so the FIFO
-// and scheduler arms produce comparable histograms).
+// and scheduler arms produce comparable histograms). Waiters are pooled:
+// the cond (whose L is wired once at construction) survives recycling,
+// unlike the one-shot channel it replaced.
 type waiter struct {
+	mu    sync.Mutex
+	cond  sync.Cond
+	ready bool
+
 	remaining  int
 	completion time.Duration
 	arrive     time.Duration
 	class      dss.Class
 	tenant     dss.TenantID
 	barrier    bool
-	done       chan struct{}
 
 	// trace marks a submission admitted by the tracer's sampling gate;
 	// tid is the submitting stream's trace track (its clock ID).
@@ -242,8 +276,48 @@ type waiter struct {
 	tid   int64
 }
 
+var waiterPool = sync.Pool{New: func() any {
+	w := &waiter{}
+	w.cond.L = &w.mu
+	return w
+}}
+
+func newWaiter(arrive time.Duration, class dss.Class, tenant dss.TenantID) *waiter {
+	w := waiterPool.Get().(*waiter)
+	w.ready = false
+	w.remaining = 0
+	w.completion = 0
+	w.arrive = arrive
+	w.class = class
+	w.tenant = tenant
+	w.barrier = false
+	w.trace = false
+	w.tid = 0
+	return w
+}
+
+// wait parks the submitter until its last chunk completes. The granter
+// touches the waiter last in signal, so the submitter owns it again on
+// return and may recycle it.
+func (w *waiter) wait() {
+	w.mu.Lock()
+	for !w.ready {
+		w.cond.Wait()
+	}
+	w.mu.Unlock()
+}
+
+func (w *waiter) signal() {
+	w.mu.Lock()
+	w.ready = true
+	w.mu.Unlock()
+	w.cond.Signal()
+}
+
 // request is one schedulable unit: a chunk of a foreground submission or
-// one background access.
+// one background access. Requests are recycled through a per-scheduler
+// freelist; every index link below is cleared when the request leaves
+// the queue, before it can be reused.
 type request struct {
 	op     device.Op
 	lba    int64
@@ -261,10 +335,26 @@ type request struct {
 	seq  uint64
 	w    *waiter // nil for background work
 
+	// sid identifies the submitting stream (its session clock) for the
+	// anticipatory-quantum policy; nil for background work and
+	// streamless submitters.
+	sid *simclock.Clock
+
 	// vstart and vfinish are the request's fair-queueing tags (see
 	// tenantfair.go). Both stay 0 when fair sharing is off and for
 	// background work, which keeps the tag comparison inert.
 	vstart, vfinish float64
+
+	// Index state (indexed picker only): position in the aging heap
+	// (-1 when not a member), owning band tree, and the boundary-list
+	// links at the request's start and end LBAs (index.go).
+	ageIdx       int
+	band         *band
+	sNext, sPrev *request
+	eNext, ePrev *request
+
+	// next chains the scheduler's request freelist.
+	next *request
 }
 
 // Prefetched describes one readahead run completed by the device,
@@ -291,6 +381,10 @@ type Stats struct {
 	// Boosted counts grants where the aging bound overrode strict
 	// priority order.
 	Boosted int64
+	// StreamSwitches counts grants where the anticipatory quantum
+	// deliberately moved the elevator to another stream's request
+	// (Config.AnticipatoryQuantum).
+	StreamSwitches int64
 	// PrefetchBlocks counts blocks read ahead; PrefetchHits counts
 	// blocks later served from the readahead buffer without a device
 	// access.
@@ -326,20 +420,34 @@ type Stats struct {
 }
 
 // Group is the scheduling domain of one storage system: the schedulers
-// of its devices plus the registry of closed-population streams. All
-// schedulers of a group share one mutex so a dispatch round can grant
-// across devices consistently.
+// of its devices plus the registry of closed-population streams. Each
+// scheduler orders its own queue under its own lock; the group lock
+// covers only the stream registry and barrier dispatch rounds, so
+// streams submitting to different devices do not serialize. Lock order
+// is Group.mu → Scheduler.mu.
 type Group struct {
-	mu          sync.Mutex
-	cfg         Config
-	scheds      []*Scheduler
-	registered  map[*simclock.Clock]struct{}
-	blocked     int
-	dispatching bool
+	cfg Config
 
-	// tenantW holds the configured tenant fair-share weights; empty
-	// means fair sharing is off (see tenantfair.go).
-	tenantW map[dss.TenantID]float64
+	mu         sync.Mutex
+	scheds     []*Scheduler
+	registered map[*simclock.Clock]struct{}
+
+	// nRegistered mirrors len(registered) so the opportunistic submit
+	// path can skip g.mu entirely; blocked counts barrier-parked
+	// streams (incremented under g.mu when a registered stream submits,
+	// decremented from grant completions under scheduler locks).
+	nRegistered atomic.Int64
+	blocked     atomic.Int64
+
+	// schedList is the attach-order scheduler list, republished on
+	// Attach, for lock-free iteration by the opportunistic drain loop.
+	schedList atomic.Pointer[[]*Scheduler]
+
+	// tenantW is the copy-on-write tenant fair-share weight table (see
+	// tenantfair.go): hot paths snapshot it with one atomic load,
+	// writers replace it wholesale under g.mu. A nil pointer or empty
+	// map means fair sharing is off.
+	tenantW atomic.Pointer[map[dss.TenantID]float64]
 
 	// obs is the attached observability set (nil-safe throughout).
 	obs *obs.Set
@@ -348,13 +456,17 @@ type Group struct {
 // NewGroup creates an empty scheduling domain.
 func NewGroup(cfg Config) *Group {
 	g := &Group{cfg: cfg.withDefaults(), registered: make(map[*simclock.Clock]struct{}), obs: cfg.Obs}
+	var tw map[dss.TenantID]float64
 	for id, w := range cfg.TenantWeights {
 		if w > 0 {
-			if g.tenantW == nil {
-				g.tenantW = make(map[dss.TenantID]float64, len(cfg.TenantWeights))
+			if tw == nil {
+				tw = make(map[dss.TenantID]float64, len(cfg.TenantWeights))
 			}
-			g.tenantW[id] = w
+			tw[id] = w
 		}
+	}
+	if tw != nil {
+		g.tenantW.Store(&tw)
 	}
 	return g
 }
@@ -365,8 +477,29 @@ func NewGroup(cfg Config) *Group {
 // NoReadahead for devices whose address space is not logical LBAs
 // (cache devices addressed by recycled slot numbers).
 func (g *Group) Attach(dev *device.Device, seqClass dss.Class) *Scheduler {
-	s := &Scheduler{g: g, dev: dev, seqClass: seqClass}
-	if g.cfg.Readahead > 0 && !g.cfg.FIFO && seqClass != NoReadahead {
+	cfg := g.cfg
+	s := &Scheduler{
+		g: g, dev: dev, seqClass: seqClass,
+		disable:      cfg.Disable,
+		fifo:         cfg.FIFO,
+		linear:       cfg.LinearPick,
+		agingBound:   cfg.AgingBound,
+		maxCoalesce:  cfg.MaxCoalesce,
+		readahead:    cfg.Readahead,
+		readaheadCap: cfg.ReadaheadCap,
+		bgShare:      cfg.BackgroundShare,
+		quantum:      cfg.AnticipatoryQuantum,
+	}
+	if cfg.FIFO || cfg.LinearPick {
+		// Neither alternate picker supports the quantum walk; keeping
+		// the knob inert there keeps them byte-for-byte reference arms.
+		s.quantum = 0
+	}
+	if !s.linear {
+		s.startAt = make(map[int64]*request)
+		s.endAt = make(map[int64]*request)
+	}
+	if cfg.Readahead > 0 && !cfg.FIFO && seqClass != NoReadahead {
 		s.ra = make(map[int64]time.Duration)
 	}
 	if reg := g.obs.Registry(); reg != nil {
@@ -384,6 +517,8 @@ func (g *Group) Attach(dev *device.Device, seqClass dss.Class) *Scheduler {
 	}
 	g.mu.Lock()
 	g.scheds = append(g.scheds, s)
+	list := append([]*Scheduler(nil), g.scheds...)
+	g.schedList.Store(&list)
 	g.mu.Unlock()
 	return s
 }
@@ -391,7 +526,7 @@ func (g *Group) Attach(dev *device.Device, seqClass dss.Class) *Scheduler {
 // bandWaitLocked returns (caching on first use) the `iosched.band.wait`
 // histogram of one class band on this device: the scheduler-imposed
 // grant delay, measured the way the aging bound measures it. Caller
-// holds g.mu.
+// holds s.mu.
 func (s *Scheduler) bandWaitLocked(class int) *obs.HistVar {
 	if s.mBandWait == nil {
 		return nil
@@ -408,7 +543,7 @@ func (s *Scheduler) bandWaitLocked(class int) *obs.HistVar {
 // tenantBlocksLocked returns (caching on first use) the
 // `iosched.tenant.blocks` counter of one tenant on this device: the
 // foreground device blocks granted to it, the fairness metric tenant
-// shares are judged by. Caller holds g.mu.
+// shares are judged by. Caller holds s.mu.
 func (s *Scheduler) tenantBlocksLocked(t dss.TenantID) *obs.Counter {
 	if s.mTenantBlocks == nil {
 		return nil
@@ -430,6 +565,7 @@ func (s *Scheduler) tenantBlocksLocked(t dss.TenantID) *obs.Counter {
 func (g *Group) Register(clk *simclock.Clock) {
 	g.mu.Lock()
 	g.registered[clk] = struct{}{}
+	g.nRegistered.Store(int64(len(g.registered)))
 	g.mu.Unlock()
 }
 
@@ -448,21 +584,22 @@ func (g *Group) Registered(clk *simclock.Clock) bool {
 func (g *Group) Unregister(clk *simclock.Clock) {
 	g.mu.Lock()
 	delete(g.registered, clk)
-	if len(g.registered) == 0 {
-		g.drainLocked(true)
-	} else if g.blocked >= len(g.registered) {
+	g.nRegistered.Store(int64(len(g.registered)))
+	empty := len(g.registered) == 0
+	if !empty && g.blocked.Load() >= int64(len(g.registered)) {
 		g.dispatchLocked()
 	}
 	g.mu.Unlock()
+	if empty {
+		g.drain(true)
+	}
 }
 
 // Drain grants every queued request (background flushes included, budget
 // or not) in priority order. The storage manager calls it before
 // settling device busy horizons at the end of a run.
 func (g *Group) Drain() {
-	g.mu.Lock()
-	g.drainLocked(true)
-	g.mu.Unlock()
+	g.drain(true)
 }
 
 // ResetStats clears every scheduler's counters — the per-tenant ones
@@ -473,37 +610,47 @@ func (g *Group) Drain() {
 // documented invariant deposits - withdrawals == credit keeps holding
 // in the measured window.
 func (g *Group) ResetStats() {
-	g.mu.Lock()
-	for _, s := range g.scheds {
+	for _, s := range g.schedulers() {
+		s.mu.Lock()
 		s.stats = Stats{BudgetDeposits: s.bgCredit}
 		for _, a := range s.tenants {
 			a.stats = TenantStats{}
 		}
+		s.mu.Unlock()
 	}
-	g.mu.Unlock()
 }
 
 // Schedulers returns the group's schedulers in attach order.
 func (g *Group) Schedulers() []*Scheduler {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return append([]*Scheduler(nil), g.scheds...)
+	return append([]*Scheduler(nil), g.schedulers()...)
+}
+
+// schedulers returns the shared attach-order list (do not mutate).
+func (g *Group) schedulers() []*Scheduler {
+	if p := g.schedList.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // dispatchLocked runs barrier-mode rounds: grant in priority order until
 // some registered stream is released, then let due background work
-// trickle onto the device. Caller holds g.mu.
+// trickle onto the device. Caller holds g.mu; scheduler locks are taken
+// per grant underneath it.
 func (g *Group) dispatchLocked() {
-	for len(g.registered) > 0 && g.blocked >= len(g.registered) {
+	n := int64(len(g.registered))
+	for n > 0 && g.blocked.Load() >= n {
 		progress := false
 		for _, s := range g.scheds {
-			if len(s.pending) == 0 {
+			if s.queued.Load() == 0 {
 				continue
 			}
+			s.mu.Lock()
 			if s.grantBestLocked(false) {
 				progress = true
 			}
-			if g.blocked < len(g.registered) {
+			s.mu.Unlock()
+			if g.blocked.Load() < n {
 				break
 			}
 		}
@@ -512,65 +659,104 @@ func (g *Group) dispatchLocked() {
 		}
 	}
 	for _, s := range g.scheds {
+		s.mu.Lock()
 		s.grantDueBackgroundLocked()
+		s.mu.Unlock()
 	}
 }
 
-// drainLocked grants eligible work until none remains, yielding between
-// grants so concurrently arriving requests can join the priority order.
+// drain grants eligible work until none remains, yielding between
+// rounds so concurrently arriving requests can join the priority order.
 // With all set (an explicit Drain, or the last registered stream
 // leaving) every queued request is granted; otherwise — the
 // opportunistic dispatch path — foreground is fully granted but
 // background only as its write-back budget allows, so the destage
 // backlog stays queued (and keeps coalescing) instead of trickling onto
-// the device one positioning penalty at a time. Caller holds g.mu.
-// Re-entrant calls (a drain triggered while another is in a yield
-// window) return immediately.
-func (g *Group) drainLocked(all bool) {
-	if g.dispatching {
-		return
-	}
-	g.dispatching = true
+// the device one positioning penalty at a time.
+//
+// The loop covers every scheduler of the group (a round attempts one
+// grant per queued device, exactly like the single-lock dispatcher it
+// replaced), but idle schedulers are skipped on an atomic queue-depth
+// probe, so concurrent submitters draining disjoint devices touch only
+// their own locks. A scheduler already being drained by another
+// goroutine is skipped for the round — each round's grant and exit
+// check run in one critical section, so the active drainer cannot miss
+// work enqueued before it released the lock.
+func (g *Group) drain(all bool) {
+	scheds := g.schedulers()
 	for {
-		for _, s := range g.scheds {
-			if len(s.pending) > 0 {
+		eligible := false
+		for _, s := range scheds {
+			if s.queued.Load() == 0 {
+				continue
+			}
+			s.mu.Lock()
+			if s.draining {
+				s.mu.Unlock()
+				continue
+			}
+			s.draining = true
+			if s.nFg+s.nBg > 0 {
 				s.grantBestLocked(all)
 			}
+			if s.hasEligibleLocked(all) {
+				eligible = true
+			}
+			s.draining = false
+			s.mu.Unlock()
 		}
 		// Exit as soon as no eligible work remains: the dispatcher must
 		// not stay captive granting other streams' arrivals (its own
 		// workload would stall in real time), and deferred background is
 		// not eligible work.
-		n := 0
-		for _, s := range g.scheds {
-			if s.hasEligibleLocked(all) {
-				n++
-			}
+		if !eligible {
+			return
 		}
-		if n == 0 {
-			break
-		}
-		g.mu.Unlock()
 		runtime.Gosched()
-		g.mu.Lock()
 	}
-	g.dispatching = false
 }
 
-// Scheduler orders the traffic of one device.
+// Scheduler orders the traffic of one device. All queue state is
+// guarded by the scheduler's own mutex; configuration is copied out of
+// the group at attach time so the grant path reads only local fields.
 type Scheduler struct {
 	g        *Group
 	dev      *device.Device
 	seqClass dss.Class
 
+	// Immutable after Attach.
+	disable      bool
+	fifo         bool
+	linear       bool
+	agingBound   time.Duration
+	maxCoalesce  int
+	readahead    int
+	readaheadCap int
+	bgShare      float64
+	quantum      int
+
+	// queued mirrors nFg+nBg so group-wide dispatch loops skip idle
+	// schedulers without taking their lock.
+	queued atomic.Int64
+
+	mu sync.Mutex
+
+	// pending is the reference picker's queue (Config.LinearPick only);
+	// the indexed picker keeps its requests in the structures below
+	// (see index.go for the invariants).
 	pending []*request
-	seq     uint64
-	stats   Stats
+	bands   []*band
+	age     ageHeap
+	startAt map[int64]*request
+	endAt   map[int64]*request
+
+	seq   uint64
+	stats Stats
 
 	// nFg and nBg count pending foreground/background requests, so
 	// eligibility probes stay O(1) against a deep deferred backlog;
 	// bgWriteLBAs counts pending single-block background writes per
-	// LBA, so the absorption check scans the queue only on an actual
+	// LBA, so the absorption check looks up the queue only on an actual
 	// duplicate.
 	nFg        int
 	nBg        int
@@ -590,10 +776,36 @@ type Scheduler struct {
 	vclock  float64
 	tenants map[dss.TenantID]*tenantAcct
 
+	// antStream and antLeft drive the anticipatory quantum: the stream
+	// whose requests the elevator is currently serving and the blocks
+	// left in its quantum (index.go).
+	antStream *simclock.Clock
+	antLeft   int
+
+	// draining marks an opportunistic dispatcher round in progress on
+	// this scheduler, so concurrent drainers skip it instead of
+	// double-granting the same queue.
+	draining bool
+
+	// Pooled hot-path memory: the request freelist, the reused grant
+	// batch, and the reused per-grant completion buffers. All owned by
+	// s.mu; a request returns to the freelist only after every index
+	// link has been cleared.
+	freeReq  *request
+	batch    []*request
+	latBatch []device.LatencySample
+	doneW    []*waiter
+
 	ra        map[int64]time.Duration // prefetch buffer: lba -> ready time
 	raOrder   []int64                 // FIFO eviction order (may hold stale keys)
 	prefetchq []Prefetched            // completions awaiting TakePrefetched
 	feed      bool                    // accumulate prefetchq (a consumer polls)
+
+	// grantHook, when set, observes every grant before it is issued
+	// (batch in final order, the coalesced span, and the budget flag).
+	// Test-only: the differential picker test records grant sequences
+	// through it.
+	grantHook func(batch []*request, start int64, total int, budget bool)
 
 	// Registry instruments, nil (inert) without Config.Obs. The
 	// per-class band-wait histograms and per-tenant block counters are
@@ -615,9 +827,31 @@ func (s *Scheduler) Device() *device.Device { return s.dev }
 
 // Stats returns a snapshot of the scheduler counters.
 func (s *Scheduler) Stats() Stats {
-	s.g.mu.Lock()
-	defer s.g.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.stats
+}
+
+// newRequestLocked takes a request from the freelist (or allocates the
+// pool's next entry). Caller holds s.mu.
+func (s *Scheduler) newRequestLocked() *request {
+	r := s.freeReq
+	if r == nil {
+		r = &request{}
+	} else {
+		s.freeReq = r.next
+		r.next = nil
+	}
+	r.ageIdx = -1
+	return r
+}
+
+// putRequestLocked recycles a granted request. Caller holds s.mu and
+// must have removed the request from every index first.
+func (s *Scheduler) putRequestLocked(r *request) {
+	next := s.freeReq
+	*r = request{ageIdx: -1, next: next}
+	s.freeReq = r
 }
 
 // Submit delivers a foreground request: the caller's stream waits (in
@@ -630,14 +864,15 @@ func (s *Scheduler) Submit(at time.Duration, op device.Op, lba int64, blocks int
 	if blocks <= 0 {
 		return at
 	}
-	if s.g.cfg.Disable {
+	if s.disable {
 		return s.dev.AccessQueued(at, at, op, lba, blocks, int(class))
 	}
 	g := s.g
-	g.mu.Lock()
+	fair := len(g.weights()) > 0
+	s.mu.Lock()
 	s.stats.Submitted++
 	s.mSubmitted.Inc()
-	if s.trackTenantLocked(tenant) {
+	if trackTenant(tenant, fair) {
 		s.acctLocked(tenant).stats.Submitted++
 	}
 	if op == device.Write {
@@ -663,7 +898,7 @@ func (s *Scheduler) Submit(at time.Duration, op device.Op, lba int64, blocks int
 		}
 		if blocks == 0 {
 			s.dev.ObserveLatency(int(class), floor-at)
-			if s.trackTenantLocked(tenant) {
+			if trackTenant(tenant, fair) {
 				s.dev.ObserveTenantLatency(int(tenant), floor-at)
 			}
 			if tr := g.obs.Trace(); tr.SampleRequest() {
@@ -674,41 +909,56 @@ func (s *Scheduler) Submit(at time.Duration, op device.Op, lba int64, blocks int
 				tr.Instant("iosched", "prefetch.hit", tid, at, map[string]any{
 					"dev": s.dev.Spec().Name, "lba": lba - 1, "class": int(class)})
 			}
-			g.mu.Unlock()
+			s.mu.Unlock()
 			return floor
 		}
 	}
 
-	w := &waiter{done: make(chan struct{}), arrive: at, class: class, tenant: tenant}
+	w := newWaiter(at, class, tenant)
 	if tr := g.obs.Trace(); tr.SampleRequest() {
 		w.trace = true
 		if stream != nil {
 			w.tid = stream.ID()
 		}
 	}
-	s.enqueueLocked(w, at, op, lba, blocks, class, tenant)
-	if stream != nil {
+
+	if stream != nil && g.nRegistered.Load() > 0 {
+		// Possibly a barrier submission: re-check membership under the
+		// group lock, and perform flag/enqueue/blocked-count as one
+		// atomic step so a concurrent grant can never complete a
+		// barrier request whose park was not counted yet.
+		s.mu.Unlock()
+		g.mu.Lock()
 		if _, ok := g.registered[stream]; ok {
 			w.barrier = true
-			g.blocked++
-			if g.blocked >= len(g.registered) {
+			s.mu.Lock()
+			s.enqueueLocked(w, at, op, lba, blocks, class, tenant, stream)
+			s.mu.Unlock()
+			if g.blocked.Add(1) >= int64(len(g.registered)) {
 				g.dispatchLocked()
 			}
 			g.mu.Unlock()
-			<-w.done
-			if floor > w.completion {
-				return floor
-			}
-			return w.completion
+			return finishWait(w, floor)
 		}
+		g.mu.Unlock()
+		s.mu.Lock()
 	}
-	g.drainLocked(false)
-	g.mu.Unlock()
-	<-w.done
-	if floor > w.completion {
+	s.enqueueLocked(w, at, op, lba, blocks, class, tenant, stream)
+	s.mu.Unlock()
+	g.drain(false)
+	return finishWait(w, floor)
+}
+
+// finishWait parks on the waiter, recycles it, and folds in the
+// prefetch-prefix floor.
+func finishWait(w *waiter, floor time.Duration) time.Duration {
+	w.wait()
+	end := w.completion
+	waiterPool.Put(w)
+	if floor > end {
 		return floor
 	}
-	return w.completion
+	return end
 }
 
 // SubmitBackground queues work no requester waits on (write-back
@@ -724,13 +974,12 @@ func (s *Scheduler) SubmitBackground(at time.Duration, op device.Op, lba int64, 
 	if blocks <= 0 {
 		return
 	}
-	if s.g.cfg.Disable {
-		d := s.dev
-		d.AccessBackground(at, op, lba, blocks)
+	if s.disable {
+		s.dev.AccessBackground(at, op, lba, blocks)
 		return
 	}
 	g := s.g
-	g.mu.Lock()
+	s.mu.Lock()
 	if op == device.Write {
 		s.invalidateRALocked(lba, blocks)
 		// Write absorption: a queued background write to the same block
@@ -738,39 +987,45 @@ func (s *Scheduler) SubmitBackground(at time.Duration, op device.Op, lba int64, 
 		// copy, so the stale destage is dropped before it costs a
 		// positioning penalty.
 		if blocks == 1 && s.bgWriteLBA[lba] > 0 {
-			for i, r := range s.pending {
-				if r.w == nil && r.op == device.Write && r.blocks == 1 && r.lba == lba {
-					s.remove(i)
-					s.stats.Absorbed++
-					break
+			if s.linear {
+				for i, r := range s.pending {
+					if r.w == nil && r.op == device.Write && r.blocks == 1 && r.lba == lba {
+						s.putRequestLocked(s.removeAtLocked(i))
+						s.stats.Absorbed++
+						break
+					}
 				}
+			} else if r := s.absorbCandidateLocked(lba); r != nil {
+				s.indexRemoveLocked(r)
+				s.putRequestLocked(r)
+				s.stats.Absorbed++
 			}
 		}
 	}
-	s.enqueueLocked(nil, at, op, lba, blocks, class, tenant)
-	if len(g.registered) == 0 {
-		g.drainLocked(false)
+	s.enqueueLocked(nil, at, op, lba, blocks, class, tenant, nil)
+	s.mu.Unlock()
+	if g.nRegistered.Load() == 0 {
+		g.drain(false)
 	}
-	g.mu.Unlock()
 }
 
 // EnablePrefetchFeed makes the scheduler retain readahead completions
 // for TakePrefetched. Without a registered consumer nothing is
 // accumulated, so configurations that never poll cannot leak memory.
 func (s *Scheduler) EnablePrefetchFeed() {
-	s.g.mu.Lock()
+	s.mu.Lock()
 	s.feed = true
-	s.g.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // TakePrefetched returns and clears the prefetch completions accumulated
 // since the last call. The hybrid cache polls it to admit prefetched
 // blocks into spare capacity; call EnablePrefetchFeed first.
 func (s *Scheduler) TakePrefetched() []Prefetched {
-	s.g.mu.Lock()
+	s.mu.Lock()
 	out := s.prefetchq
 	s.prefetchq = nil
-	s.g.mu.Unlock()
+	s.mu.Unlock()
 	return out
 }
 
@@ -780,20 +1035,22 @@ func (s *Scheduler) TakePrefetched() []Prefetched {
 // tenant's start/finish tags: consecutive chunks chain through the
 // tenant's lastFinish, so one big submission pays virtual time
 // proportional to all of its blocks. FIFO mode queues the submission
-// whole, as the legacy elevator would. Caller holds g.mu.
-func (s *Scheduler) enqueueLocked(w *waiter, at time.Duration, op device.Op, lba int64, blocks int, class dss.Class, tenant dss.TenantID) {
+// whole, as the legacy elevator would. Caller holds s.mu.
+func (s *Scheduler) enqueueLocked(w *waiter, at time.Duration, op device.Op, lba int64, blocks int, class dss.Class, tenant dss.TenantID, sid *simclock.Clock) {
 	rank := classRank(class)
 	if w == nil {
 		rank += backgroundBand
 	}
 	var ta *tenantAcct
 	var weight float64
-	if w != nil && s.g.fairLocked() {
-		ta = s.acctLocked(tenant)
-		weight = s.g.tenantWeightLocked(tenant)
+	if w != nil {
+		if wm := s.g.weights(); len(wm) > 0 {
+			ta = s.acctLocked(tenant)
+			weight = weightOf(wm, tenant)
+		}
 	}
-	max := s.g.cfg.MaxCoalesce
-	if s.g.cfg.FIFO {
+	max := s.maxCoalesce
+	if s.fifo {
 		max = blocks
 	}
 	base := at
@@ -805,7 +1062,9 @@ func (s *Scheduler) enqueueLocked(w *waiter, at time.Duration, op device.Op, lba
 		if n > max {
 			n = max
 		}
-		r := &request{op: op, lba: lba, blocks: n, class: class, tenant: tenant, rank: rank, arrive: at, base: base, seq: s.seq, w: w}
+		r := s.newRequestLocked()
+		r.op, r.lba, r.blocks, r.class, r.tenant = op, lba, n, class, tenant
+		r.rank, r.arrive, r.base, r.seq, r.w, r.sid = rank, at, base, s.seq, w, sid
 		if ta != nil {
 			start := s.vclock
 			if ta.lastFinish > start {
@@ -827,12 +1086,17 @@ func (s *Scheduler) enqueueLocked(w *waiter, at time.Duration, op device.Op, lba
 				s.bgWriteLBA[lba]++
 			}
 		}
-		s.pending = append(s.pending, r)
+		if s.linear {
+			s.pending = append(s.pending, r)
+		} else {
+			s.indexInsertLocked(r)
+		}
+		s.queued.Add(1)
 		lba += int64(n)
 		blocks -= n
 	}
-	if len(s.pending) > s.stats.MaxQueue {
-		s.stats.MaxQueue = len(s.pending)
+	if q := s.nFg + s.nBg; q > s.stats.MaxQueue {
+		s.stats.MaxQueue = q
 	}
 	if s.nBg > s.stats.MaxBackgroundQueue {
 		s.stats.MaxBackgroundQueue = s.nBg
@@ -842,27 +1106,30 @@ func (s *Scheduler) enqueueLocked(w *waiter, at time.Duration, op device.Op, lba
 // hasEligibleLocked reports whether the queue holds work a dispatch
 // round would grant: any foreground request, or background when allowed
 // by a full drain, a disabled throttle, or available budget credit.
-// Caller holds g.mu.
+// Caller holds s.mu.
 func (s *Scheduler) hasEligibleLocked(bgOK bool) bool {
 	if s.nFg > 0 {
 		return true
 	}
-	return s.nBg > 0 && (bgOK || s.g.cfg.BackgroundShare <= 0 || s.bgCredit >= 1)
+	return s.nBg > 0 && (bgOK || s.bgShare <= 0 || s.bgCredit >= 1)
 }
 
-// pickLocked chooses the next request: the oldest foreground request
-// whose wait would exceed the aging bound, else the best (rank, seq)
-// foreground request, else background. Background is exempt from aging
-// — nobody waits on it — and while foreground is pending it is eligible
-// only when its write-back budget holds at least one block of credit
-// (returned as budget=true so the grant is debited) or when bgOK forces
-// a full drain. FIFO mode picks strictly by arrival. Returns -1 when
-// nothing is eligible. Caller holds g.mu.
-func (s *Scheduler) pickLocked(bgOK bool) (pick int, budget bool) {
+// pickLinearLocked is the reference picker (Config.LinearPick): the
+// original O(n) scans over the pending slice. It chooses the next
+// request exactly like pickIndexedLocked — the oldest foreground
+// request whose wait would exceed the aging bound, else the best
+// (rank, vfinish, elevator) foreground request, else background.
+// Background is exempt from aging — nobody waits on it — and while
+// foreground is pending it is eligible only when its write-back budget
+// holds at least one block of credit (returned as budget=true so the
+// grant is debited) or when bgOK forces a full drain. FIFO mode picks
+// strictly by arrival. Returns -1 when nothing is eligible. Caller
+// holds s.mu.
+func (s *Scheduler) pickLinearLocked(bgOK bool) (pick int, budget bool) {
 	if len(s.pending) == 0 {
 		return -1, false
 	}
-	if s.g.cfg.FIFO {
+	if s.fifo {
 		oldest := 0
 		for i, r := range s.pending {
 			if olderThan(r, s.pending[oldest]) {
@@ -872,7 +1139,7 @@ func (s *Scheduler) pickLocked(bgOK bool) (pick int, budget bool) {
 		return oldest, false
 	}
 	busy := s.dev.BusyUntil()
-	bound := s.g.cfg.AgingBound
+	bound := s.agingBound
 	head := s.dev.HeadLBA()
 	bestFg, overdue, bestBg := -1, -1, -1
 	for i, r := range s.pending {
@@ -895,7 +1162,7 @@ func (s *Scheduler) pickLocked(bgOK bool) (pick int, budget bool) {
 		return overdue, false
 	}
 	if bestFg >= 0 {
-		if bestBg >= 0 && s.g.cfg.BackgroundShare > 0 && s.bgCredit >= 1 &&
+		if bestBg >= 0 && s.bgShare > 0 && s.bgCredit >= 1 &&
 			s.pending[bestBg].blocks <= budgetMaxCoalesce {
 			// The budget guarantees background its bounded share of
 			// device time even under a saturated foreground phase. A
@@ -907,7 +1174,7 @@ func (s *Scheduler) pickLocked(bgOK bool) (pick int, budget bool) {
 		}
 		return bestFg, false
 	}
-	if bestBg >= 0 && !bgOK && s.g.cfg.BackgroundShare > 0 {
+	if bestBg >= 0 && !bgOK && s.bgShare > 0 {
 		// Opportunistic dispatch grants background on a genuinely idle
 		// device (free time the request interferes with nothing on) or
 		// against budget credit; otherwise the backlog keeps
@@ -965,11 +1232,10 @@ func betterThanAt(a, b *request, head int64) bool {
 	return a.seq < b.seq
 }
 
-// remove drops index i from the pending queue, preserving order and the
-// pending counters. Caller holds g.mu.
-func (s *Scheduler) remove(i int) *request {
-	r := s.pending[i]
-	s.pending = append(s.pending[:i], s.pending[i+1:]...)
+// noteRemovedLocked maintains the pending counters for a request that
+// just left the queue (either picker). Caller holds s.mu.
+func (s *Scheduler) noteRemovedLocked(r *request) {
+	s.queued.Add(-1)
 	if r.w != nil {
 		s.nFg--
 	} else {
@@ -982,22 +1248,42 @@ func (s *Scheduler) remove(i int) *request {
 			}
 		}
 	}
+}
+
+// removeAtLocked drops index i from the linear pending queue, preserving
+// order and the pending counters. Caller holds s.mu.
+func (s *Scheduler) removeAtLocked(i int) *request {
+	r := s.pending[i]
+	s.pending = append(s.pending[:i], s.pending[i+1:]...)
+	s.noteRemovedLocked(r)
 	return r
 }
 
 // grantBestLocked picks, coalesces and grants one device access; bgOK
 // lets over-budget background through (idle dispatch, full drain). It
-// reports whether anything was granted. Caller holds g.mu.
+// reports whether anything was granted. Caller holds s.mu.
 func (s *Scheduler) grantBestLocked(bgOK bool) bool {
-	i, budget := s.pickLocked(bgOK)
-	if i < 0 {
-		return false
+	var head *request
+	var budget bool
+	if s.linear {
+		i, b := s.pickLinearLocked(bgOK)
+		if i < 0 {
+			return false
+		}
+		head, budget = s.removeAtLocked(i), b
+	} else {
+		r, b := s.pickIndexedLocked(bgOK)
+		if r == nil {
+			return false
+		}
+		s.indexRemoveLocked(r)
+		head, budget = r, b
 	}
-	head := s.remove(i)
-	batch := []*request{head}
+	batch := append(s.batch[:0], head)
 	start, end := head.lba, head.lba+int64(head.blocks)
 	total := head.blocks
-	if s.g.cfg.FIFO {
+	if s.fifo {
+		s.batch = batch
 		s.grantLocked(batch, start, total, budget)
 		return true
 	}
@@ -1009,37 +1295,49 @@ func (s *Scheduler) grantBestLocked(bgOK bool) bool {
 	// is also tenant-pure — letting tenant B's blocks ride in tenant
 	// A's grant would hand B device time its finish tags never paid
 	// for, so adjacency across tenants no longer merges.
-	max := s.g.cfg.MaxCoalesce
+	max := s.maxCoalesce
 	if budget && max > budgetMaxCoalesce {
 		max = budgetMaxCoalesce
 	}
-	fair := s.g.fairLocked()
+	fair := len(s.g.weights()) > 0
 	for total < max {
-		found := -1
+		var p *request
 		prepend := false
-		for j, p := range s.pending {
-			if p.op != head.op || p.class != head.class || total+p.blocks > max {
-				continue
+		if s.linear {
+			found := -1
+			for j, q := range s.pending {
+				if q.op != head.op || q.class != head.class || total+q.blocks > max {
+					continue
+				}
+				if fair && q.tenant != head.tenant {
+					continue
+				}
+				if q.lba == end {
+					found = j
+					break
+				}
+				if q.lba+int64(q.blocks) == start {
+					found, prepend = j, true
+					break
+				}
 			}
-			if fair && p.tenant != head.tenant {
-				continue
+			if found >= 0 {
+				p = s.removeAtLocked(found)
 			}
-			if p.lba == end {
-				found = j
-				break
-			}
-			if p.lba+int64(p.blocks) == start {
-				found, prepend = j, true
-				break
+		} else {
+			p, prepend = s.coalesceCandidateLocked(head, start, end, max-total, fair)
+			if p != nil {
+				s.indexRemoveLocked(p)
 			}
 		}
-		if found < 0 {
+		if p == nil {
 			break
 		}
-		p := s.remove(found)
 		if prepend {
 			start = p.lba
-			batch = append([]*request{p}, batch...)
+			batch = append(batch, nil)
+			copy(batch[1:], batch)
+			batch[0] = p
 		} else {
 			end += int64(p.blocks)
 			batch = append(batch, p)
@@ -1048,6 +1346,7 @@ func (s *Scheduler) grantBestLocked(bgOK bool) bool {
 		s.stats.Coalesced++
 		s.mCoalesced.Inc()
 	}
+	s.batch = batch
 	s.grantLocked(batch, start, total, budget)
 	return true
 }
@@ -1057,14 +1356,9 @@ func (s *Scheduler) grantBestLocked(bgOK bool) bool {
 // per dispatch event keeps destage bursts from monopolizing the device
 // just because the foreground queue went momentarily empty; the rest of
 // the backlog follows on later dispatches, budget grants or the final
-// Drain. Caller holds g.mu.
+// Drain. Caller holds s.mu.
 func (s *Scheduler) grantDueBackgroundLocked() {
-	for _, r := range s.pending {
-		if r.w != nil {
-			return
-		}
-	}
-	if len(s.pending) == 0 {
+	if s.nFg > 0 || s.nBg == 0 {
 		return
 	}
 	s.grantBestLocked(true)
@@ -1073,8 +1367,16 @@ func (s *Scheduler) grantDueBackgroundLocked() {
 // grantLocked issues one device access for a coalesced batch and
 // completes its requests; budget marks a background grant the write-back
 // budget forced ahead of waiting foreground, which debits its credit.
-// Caller holds g.mu.
+// Completion latencies are flushed to the device in one batched
+// observation, and the batch's requests return to the freelist before
+// any waiter is woken. Caller holds s.mu.
 func (s *Scheduler) grantLocked(batch []*request, start int64, total int, budget bool) {
+	if s.grantHook != nil {
+		s.grantHook(batch, start, total, budget)
+	}
+	// Like the coalescing filters, accounting keys off the batch head —
+	// after prepend-coalescing that is the lowest-LBA member, not
+	// necessarily the picked request.
 	head := batch[0]
 	arrive := batch[0].arrive
 	for _, r := range batch[1:] {
@@ -1082,25 +1384,27 @@ func (s *Scheduler) grantLocked(batch []*request, start int64, total int, budget
 			arrive = r.arrive
 		}
 	}
+	wm := s.g.weights()
+	fair := len(wm) > 0
 	// Readahead: extend a sequential-class read past the run so the
 	// scan's next request is served from the buffer.
 	extra := 0
 	if head.w != nil && head.op == device.Read && head.class == s.seqClass && s.ra != nil {
 		if _, ok := s.ra[start+int64(total)]; !ok {
-			extra = s.g.cfg.Readahead
+			extra = s.readahead
 		}
 	}
 	// Write-back budget accounting: foreground grants deposit their
 	// share; budget-forced background grants withdraw what they carried.
 	// Idle and drain grants ride free device time and touch no credit.
-	if share := s.g.cfg.BackgroundShare; share > 0 {
+	if share := s.bgShare; share > 0 {
 		// The credit cap is one coalesced batch: a budget grant can put
 		// at most MaxCoalesce blocks ahead of waiting foreground, and
 		// the floor at zero keeps bursts from borrowing against the
 		// future. The ledger records effective movements — the credited
 		// part of a capped deposit, the consumed part of a floored
 		// withdrawal — so deposits - withdrawals == credit always.
-		creditCap := float64(s.g.cfg.MaxCoalesce)
+		creditCap := float64(s.maxCoalesce)
 		if head.w != nil {
 			before := s.bgCredit
 			s.bgCredit += share * float64(total)
@@ -1125,6 +1429,15 @@ func (s *Scheduler) grantLocked(batch []*request, start int64, total int, budget
 		s.stats.BackgroundGrants++
 		s.stats.BackgroundBlocks += int64(total)
 		s.mBgGrants.Inc()
+	} else if s.quantum > 0 {
+		// Anticipatory quantum bookkeeping: a grant for a new stream
+		// opens a fresh quantum; every foreground grant consumes its
+		// blocks from the current one.
+		if head.sid != s.antStream {
+			s.antStream = head.sid
+			s.antLeft = s.quantum
+		}
+		s.antLeft -= total
 	}
 	// Per-tenant accounting: each request's blocks are charged to its
 	// own tenant (a fair-share batch is tenant-pure, but the class-only
@@ -1145,7 +1458,7 @@ func (s *Scheduler) grantLocked(batch []*request, start int64, total int, budget
 			}
 			s.bandWaitLocked(int(r.class)).Observe(wait)
 		}
-		if !s.trackTenantLocked(r.tenant) {
+		if !trackTenant(r.tenant, fair) {
 			continue
 		}
 		ts := &s.acctLocked(r.tenant).stats
@@ -1159,7 +1472,7 @@ func (s *Scheduler) grantLocked(batch []*request, start int64, total int, budget
 			ts.BackgroundBlocks += int64(r.blocks)
 		}
 	}
-	if extra > 0 && s.trackTenantLocked(head.tenant) {
+	if extra > 0 && trackTenant(head.tenant, fair) {
 		// Readahead extends the grant with real device blocks: bill
 		// them to the scan's tenant — both in the granted-block stats
 		// and, under fair sharing, in its virtual time, so prefetching
@@ -1167,8 +1480,8 @@ func (s *Scheduler) grantLocked(batch []*request, start int64, total int, budget
 		// cover.
 		ta := s.acctLocked(head.tenant)
 		ta.stats.Blocks += int64(extra)
-		if s.g.fairLocked() {
-			ta.lastFinish += float64(extra) / s.g.tenantWeightLocked(head.tenant)
+		if fair {
+			ta.lastFinish += float64(extra) / weightOf(wm, head.tenant)
 		}
 	}
 	end := s.dev.Access(arrive, head.op, start, total+extra)
@@ -1226,21 +1539,38 @@ func (s *Scheduler) grantLocked(batch []*request, start int64, total int, budget
 		}
 		r.w.remaining--
 		if r.w.remaining == 0 {
-			// One latency sample per submission, at its last chunk.
-			s.dev.ObserveLatency(int(r.w.class), r.w.completion-r.w.arrive)
-			if s.trackTenantLocked(r.w.tenant) {
-				s.dev.ObserveTenantLatency(int(r.w.tenant), r.w.completion-r.w.arrive)
+			// One latency sample per submission, at its last chunk —
+			// collected here, flushed to the device in one batch below.
+			sample := device.LatencySample{Class: int(r.w.class), Tenant: -1, Lat: r.w.completion - r.w.arrive}
+			if trackTenant(r.w.tenant, fair) {
+				sample.Tenant = int(r.w.tenant)
 			}
+			s.latBatch = append(s.latBatch, sample)
 			if r.w.barrier {
-				s.g.blocked--
+				s.g.blocked.Add(-1)
 			}
-			close(r.w.done)
+			s.doneW = append(s.doneW, r.w)
 		}
 	}
+	for i, r := range batch {
+		batch[i] = nil
+		s.putRequestLocked(r)
+	}
+	if len(s.latBatch) > 0 {
+		s.dev.ObserveLatencyBatch(s.latBatch)
+		s.latBatch = s.latBatch[:0]
+	}
+	// Wake the completed submitters last: signal is the granter's final
+	// touch of each waiter, so the submitter may recycle it on return.
+	for i, w := range s.doneW {
+		s.doneW[i] = nil
+		w.signal()
+	}
+	s.doneW = s.doneW[:0]
 }
 
 // insertRALocked adds one block to the prefetch buffer, evicting the
-// oldest entries beyond capacity. Caller holds g.mu.
+// oldest entries beyond capacity. Caller holds s.mu.
 func (s *Scheduler) insertRALocked(lba int64, ready time.Duration) {
 	if _, ok := s.ra[lba]; ok {
 		s.ra[lba] = ready
@@ -1248,7 +1578,7 @@ func (s *Scheduler) insertRALocked(lba int64, ready time.Duration) {
 	}
 	s.ra[lba] = ready
 	s.raOrder = append(s.raOrder, lba)
-	for len(s.ra) > s.g.cfg.ReadaheadCap && len(s.raOrder) > 0 {
+	for len(s.ra) > s.readaheadCap && len(s.raOrder) > 0 {
 		old := s.raOrder[0]
 		s.raOrder = s.raOrder[1:]
 		delete(s.ra, old)
@@ -1256,7 +1586,7 @@ func (s *Scheduler) insertRALocked(lba int64, ready time.Duration) {
 	// Consumed and invalidated blocks leave stale keys behind in
 	// raOrder; compact it once it grows well past the live buffer so it
 	// cannot grow without bound under a long consuming scan.
-	if len(s.raOrder) > 4*s.g.cfg.ReadaheadCap {
+	if len(s.raOrder) > 4*s.readaheadCap {
 		live := s.raOrder[:0]
 		for _, k := range s.raOrder {
 			if _, ok := s.ra[k]; ok {
@@ -1268,7 +1598,7 @@ func (s *Scheduler) insertRALocked(lba int64, ready time.Duration) {
 }
 
 // invalidateRALocked drops buffered blocks overwritten by a write, so a
-// later read pays for the fresh copy. Caller holds g.mu.
+// later read pays for the fresh copy. Caller holds s.mu.
 func (s *Scheduler) invalidateRALocked(lba int64, blocks int) {
 	if s.ra == nil {
 		return

@@ -19,20 +19,26 @@ func newTestSched(cfg Config) (*Group, *Scheduler, *device.Device) {
 	return g, s, dev
 }
 
+// bareWaiter builds a non-pooled waiter for direct enqueueLocked tests.
+func bareWaiter(class dss.Class, tenant dss.TenantID) *waiter {
+	w := &waiter{class: class, tenant: tenant}
+	w.cond.L = &w.mu
+	return w
+}
+
 // enqueue adds a request without dispatching (test-only, single
 // threaded). It returns the waiter so completions can be read back.
 func enqueue(g *Group, s *Scheduler, at time.Duration, op device.Op, lba int64, blocks int, class dss.Class) *waiter {
-	w := &waiter{done: make(chan struct{}), arrive: at, class: class}
-	g.mu.Lock()
-	s.enqueueLocked(w, at, op, lba, blocks, class, dss.DefaultTenant)
-	g.mu.Unlock()
+	w := bareWaiter(class, dss.DefaultTenant)
+	w.arrive = at
+	s.mu.Lock()
+	s.enqueueLocked(w, at, op, lba, blocks, class, dss.DefaultTenant, nil)
+	s.mu.Unlock()
 	return w
 }
 
 func drain(g *Group) {
-	g.mu.Lock()
-	g.drainLocked(true)
-	g.mu.Unlock()
+	g.Drain()
 }
 
 // Priority dispatch: with a log write and a scan read queued together,
@@ -176,12 +182,12 @@ func TestWriteInvalidatesReadahead(t *testing.T) {
 // foreground read are granted after it.
 func TestBackgroundYields(t *testing.T) {
 	g, s, _ := newTestSched(Config{Readahead: -1})
-	g.mu.Lock()
-	s.enqueueLocked(nil, 0, device.Write, 5000, 1, dss.ClassWriteBuffer, dss.DefaultTenant) // background
-	fg := &waiter{done: make(chan struct{})}
-	s.enqueueLocked(fg, 0, device.Read, 100, 1, dss.Class(2), dss.DefaultTenant)
-	g.drainLocked(true)
-	g.mu.Unlock()
+	s.mu.Lock()
+	s.enqueueLocked(nil, 0, device.Write, 5000, 1, dss.ClassWriteBuffer, dss.DefaultTenant, nil) // background
+	fg := bareWaiter(dss.Class(2), dss.DefaultTenant)
+	s.enqueueLocked(fg, 0, device.Read, 100, 1, dss.Class(2), dss.DefaultTenant, nil)
+	s.mu.Unlock()
+	g.Drain()
 	// Foreground granted first: its completion equals its own service
 	// (device idle), not service plus the destage.
 	solo := device.New(device.Cheetah15K()).Access(0, device.Read, 100, 1)

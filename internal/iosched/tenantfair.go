@@ -71,25 +71,53 @@ type tenantAcct struct {
 // turns fair sharing off entirely. The hybrid priority cache's
 // capacity shares snapshot Config.TenantWeights at construction and do
 // not follow later SetTenantWeight calls.
+//
+// The weight table is copy-on-write: hot paths snapshot it with one
+// atomic load, so a weight change applies to submissions that start
+// after it, never mid-grant.
 func (g *Group) SetTenantWeight(id dss.TenantID, w float64) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	old := g.weights()
 	if w <= 0 {
-		delete(g.tenantW, id)
-		return
+		if _, ok := old[id]; !ok {
+			return
+		}
 	}
-	if g.tenantW == nil {
-		g.tenantW = make(map[dss.TenantID]float64)
+	nw := make(map[dss.TenantID]float64, len(old)+1)
+	for k, v := range old {
+		nw[k] = v
 	}
-	g.tenantW[id] = w
+	if w <= 0 {
+		delete(nw, id)
+	} else {
+		nw[id] = w
+	}
+	g.tenantW.Store(&nw)
+}
+
+// weights returns the current tenant weight table (shared; do not
+// mutate). Nil or empty means fair sharing is off.
+func (g *Group) weights() map[dss.TenantID]float64 {
+	if p := g.tenantW.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// weightOf returns id's weight in table wm with the implicit default
+// of 1.
+func weightOf(wm map[dss.TenantID]float64, id dss.TenantID) float64 {
+	if w, ok := wm[id]; ok {
+		return w
+	}
+	return 1
 }
 
 // TenantWeight reports tenant id's configured weight; tenants without a
 // configured weight have the implicit weight 1.
 func (g *Group) TenantWeight(id dss.TenantID) float64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.tenantWeightLocked(id)
+	return weightOf(g.weights(), id)
 }
 
 // TenantShare reports tenant id's fraction of the total configured
@@ -97,14 +125,13 @@ func (g *Group) TenantWeight(id dss.TenantID) float64 {
 // cache capacity. It returns 0 when fair sharing is off or the tenant
 // has no configured weight.
 func (g *Group) TenantShare(id dss.TenantID) float64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	w, ok := g.tenantW[id]
+	wm := g.weights()
+	w, ok := wm[id]
 	if !ok {
 		return 0
 	}
 	var sum float64
-	for _, v := range g.tenantW {
+	for _, v := range wm {
 		sum += v
 	}
 	if sum <= 0 {
@@ -116,34 +143,20 @@ func (g *Group) TenantShare(id dss.TenantID) float64 {
 // TenantWeights returns a copy of the configured tenant weights. An
 // empty map means fair sharing is off (the class-only scheduler).
 func (g *Group) TenantWeights() map[dss.TenantID]float64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	out := make(map[dss.TenantID]float64, len(g.tenantW))
-	for id, w := range g.tenantW {
+	wm := g.weights()
+	out := make(map[dss.TenantID]float64, len(wm))
+	for id, w := range wm {
 		out[id] = w
 	}
 	return out
-}
-
-// fairLocked reports whether tenant-weighted fair queueing is active.
-// Caller holds g.mu.
-func (g *Group) fairLocked() bool { return len(g.tenantW) > 0 }
-
-// tenantWeightLocked returns id's weight with the implicit default of 1.
-// Caller holds g.mu.
-func (g *Group) tenantWeightLocked(id dss.TenantID) float64 {
-	if w, ok := g.tenantW[id]; ok {
-		return w
-	}
-	return 1
 }
 
 // TenantStats returns a snapshot of the per-tenant counters of this
 // scheduler. Only tenants that were explicitly attributed (non-zero
 // tenant ID) or active while fair sharing was on appear.
 func (s *Scheduler) TenantStats() map[dss.TenantID]TenantStats {
-	s.g.mu.Lock()
-	defer s.g.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make(map[dss.TenantID]TenantStats, len(s.tenants))
 	for id, a := range s.tenants {
 		out[id] = a.stats
@@ -151,16 +164,16 @@ func (s *Scheduler) TenantStats() map[dss.TenantID]TenantStats {
 	return out
 }
 
-// trackTenantLocked reports whether per-tenant accounting applies to
-// tenant t: always under fair sharing, and for explicitly attributed
-// tenants even without weights (the class-only baseline still reports
-// per-tenant shares). Caller holds g.mu.
-func (s *Scheduler) trackTenantLocked(t dss.TenantID) bool {
-	return t != dss.DefaultTenant || s.g.fairLocked()
+// trackTenant reports whether per-tenant accounting applies to tenant
+// t: always under fair sharing, and for explicitly attributed tenants
+// even without weights (the class-only baseline still reports
+// per-tenant shares).
+func trackTenant(t dss.TenantID, fair bool) bool {
+	return t != dss.DefaultTenant || fair
 }
 
 // acctLocked returns (allocating on first use) tenant t's accounting
-// state on this scheduler. Caller holds g.mu.
+// state on this scheduler. Caller holds s.mu.
 func (s *Scheduler) acctLocked(t dss.TenantID) *tenantAcct {
 	a := s.tenants[t]
 	if a == nil {

@@ -88,9 +88,9 @@ func TestBudgetLedgerBalances(t *testing.T) {
 		s.Submit(0, device.Read, int64((i*7919)%100000), 1, dss.Class(2), dss.DefaultTenant, nil)
 	}
 	check := func(when string) {
-		g.mu.Lock()
+		s.mu.Lock()
 		st, credit := s.stats, s.bgCredit
-		g.mu.Unlock()
+		s.mu.Unlock()
 		if st.BudgetGrants == 0 || st.Coalesced == 0 {
 			t.Fatalf("%s: scenario did not exercise coalesced budget grants: %+v", when, st)
 		}
@@ -121,14 +121,14 @@ func TestBudgetLedgerBalances(t *testing.T) {
 	}
 	check("after reset")
 	// Drain grants ride free device time: they must not touch the ledger.
-	g.mu.Lock()
+	s.mu.Lock()
 	before := s.stats.BudgetWithdrawals
-	g.mu.Unlock()
+	s.mu.Unlock()
 	g.Drain()
 	check("drained")
-	g.mu.Lock()
+	s.mu.Lock()
 	after := s.stats.BudgetWithdrawals
-	g.mu.Unlock()
+	s.mu.Unlock()
 	if after != before {
 		t.Fatalf("final drain withdrew budget credit: %.3f -> %.3f", before, after)
 	}
@@ -141,14 +141,16 @@ func TestBudgetLedgerBalances(t *testing.T) {
 func TestBudgetRespectsBatchCap(t *testing.T) {
 	g, s, dev := newTestSched(Config{BackgroundShare: 0.5, Readahead: -1})
 	dev.Access(0, device.Write, 0, 16) // device busy: nothing rides idle time
-	g.mu.Lock()
-	s.enqueueLocked(nil, 0, device.Write, 500000, 2*budgetMaxCoalesce, dss.ClassWriteBuffer, dss.DefaultTenant)
-	fg := &waiter{done: make(chan struct{}), class: dss.Class(2)}
-	s.enqueueLocked(fg, 0, device.Read, 100, 1, dss.Class(2), dss.DefaultTenant)
+	s.mu.Lock()
+	s.enqueueLocked(nil, 0, device.Write, 500000, 2*budgetMaxCoalesce, dss.ClassWriteBuffer, dss.DefaultTenant, nil)
+	fg := bareWaiter(dss.Class(2), dss.DefaultTenant)
+	s.enqueueLocked(fg, 0, device.Read, 100, 1, dss.Class(2), dss.DefaultTenant, nil)
 	s.bgCredit = 20 // ample credit: the old code would budget-grant the big chunk
-	g.drainLocked(true)
+	s.mu.Unlock()
+	g.Drain()
+	s.mu.Lock()
 	budgetGrants := s.stats.BudgetGrants
-	g.mu.Unlock()
+	s.mu.Unlock()
 	if budgetGrants != 0 {
 		t.Fatalf("oversized background chunk was budget-granted ahead of foreground (%d budget grants)", budgetGrants)
 	}
@@ -223,14 +225,14 @@ func TestTenantFairSharesConverge(t *testing.T) {
 	}
 	var ws []done
 	for i := 0; i < 100; i++ {
-		w1 := &waiter{done: make(chan struct{}), class: dss.Class(2), tenant: 1}
-		w2 := &waiter{done: make(chan struct{}), class: dss.Class(2), tenant: 2}
-		g.mu.Lock()
+		w1 := bareWaiter(dss.Class(2), 1)
+		w2 := bareWaiter(dss.Class(2), 2)
+		s.mu.Lock()
 		// Stride 2 within disjoint regions: same class, never adjacent,
 		// so coalescing cannot blur the share measurement.
-		s.enqueueLocked(w1, 0, device.Read, int64(2*i), 1, dss.Class(2), 1)
-		s.enqueueLocked(w2, 0, device.Read, 1_000_000+int64(2*i), 1, dss.Class(2), 2)
-		g.mu.Unlock()
+		s.enqueueLocked(w1, 0, device.Read, int64(2*i), 1, dss.Class(2), 1, nil)
+		s.enqueueLocked(w2, 0, device.Read, 1_000_000+int64(2*i), 1, dss.Class(2), 2, nil)
+		s.mu.Unlock()
 		ws = append(ws, done{1, w1}, done{2, w2})
 	}
 	drain(g)
@@ -310,13 +312,13 @@ func TestCrossTenantCoalescingRestricted(t *testing.T) {
 			g.SetTenantWeight(1, 1)
 			g.SetTenantWeight(2, 1)
 		}
-		g.mu.Lock()
-		w1 := &waiter{done: make(chan struct{}), class: dss.Class(2), tenant: 1}
-		w2 := &waiter{done: make(chan struct{}), class: dss.Class(2), tenant: 2}
-		s.enqueueLocked(w1, 0, device.Read, 100, 1, dss.Class(2), 1)
-		s.enqueueLocked(w2, 0, device.Read, 101, 1, dss.Class(2), 2)
-		g.drainLocked(true)
-		g.mu.Unlock()
+		w1 := bareWaiter(dss.Class(2), 1)
+		w2 := bareWaiter(dss.Class(2), 2)
+		s.mu.Lock()
+		s.enqueueLocked(w1, 0, device.Read, 100, 1, dss.Class(2), 1, nil)
+		s.enqueueLocked(w2, 0, device.Read, 101, 1, dss.Class(2), 2, nil)
+		s.mu.Unlock()
+		g.Drain()
 		return dev.Stats().Reads
 	}
 	if got := run(false); got != 1 {

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -84,10 +85,26 @@ type Label struct {
 // L is shorthand for constructing a Label.
 func L(key, value string) Label { return Label{Key: key, Value: value} }
 
+// smallInts interns the rendered strings of the small non-negative
+// integers, which cover essentially every class rank, tenant ID and
+// shard number a run ever labels: hot paths that build labels per
+// lookup (per-class histograms, per-tenant counters) must not allocate
+// for the common values.
+var smallInts = func() [256]string {
+	var a [256]string
+	for i := range a {
+		a[i] = strconv.Itoa(i)
+	}
+	return a
+}()
+
 // LInt is shorthand for a Label with an integer value (class ranks,
-// tenant IDs).
+// tenant IDs). Small non-negative values render allocation-free.
 func LInt(key string, value int64) Label {
-	return Label{Key: key, Value: fmt.Sprintf("%d", value)}
+	if value >= 0 && value < int64(len(smallInts)) {
+		return Label{Key: key, Value: smallInts[value]}
+	}
+	return Label{Key: key, Value: strconv.FormatInt(value, 10)}
 }
 
 // Counter is a monotonically increasing metric. Updates are single
