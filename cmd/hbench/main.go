@@ -11,7 +11,7 @@
 //
 // Experiments: fig4, fig5, table4, fig6, table5, table6, fig9, table7,
 // fig11 (includes table8), table9, fig12, oltp, iosched, txnscale,
-// tenants, htap, shards, hotpath, all.
+// tenants, htap, shards, lsm, hotpath, all.
 //
 // With -json, every experiment's structured results are also written to
 // the given file as one versioned JSON document (schema "hbench/v1")
@@ -61,7 +61,7 @@ type benchFile struct {
 
 func main() {
 	log.SetFlags(0)
-	exp := flag.String("exp", "all", "comma-separated experiment ids (fig4 fig5 table4 fig6 table5 table6 fig9 table7 fig11 table9 fig12 oltp iosched txnscale tenants htap shards hotpath all)")
+	exp := flag.String("exp", "all", "comma-separated experiment ids (fig4 fig5 table4 fig6 table5 table6 fig9 table7 fig11 table9 fig12 oltp iosched txnscale tenants htap shards lsm hotpath all)")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
 	cache := flag.Float64("cache", 0.7, "SSD cache size as a fraction of total data pages")
 	bp := flag.Float64("bp", 0.04, "buffer pool size as a fraction of total data pages")
@@ -308,6 +308,20 @@ func main() {
 			return nil, err
 		}
 		fmt.Print(experiments.FormatShards(runs))
+		return runs, nil
+	})
+	run("lsm", func() (any, error) {
+		// Storage-backend comparison: heap vs LSM under the write-heavy
+		// update mix, with the compaction-classification ablation as the
+		// third arm. Self-contained (it builds its own single-shard
+		// accounts clusters, not the TPC-H env) but shares the
+		// observability set. The largest -workers entry drives the run;
+		// -txns is the per-arm total.
+		runs, err := experiments.LSMAll(workers[len(workers)-1], *txns, *seed, set)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Print(experiments.FormatLSM(runs))
 		return runs, nil
 	})
 	run("hotpath", func() (any, error) {

@@ -27,6 +27,7 @@ var auditedPackages = []string{
 	"internal/engine/policy",
 	"internal/engine/txn",
 	"internal/engine/wal",
+	"internal/lsm",
 	"internal/obs",
 	"internal/shard",
 }

@@ -45,6 +45,18 @@ const (
 	// never evicts them; log blocks leave the cache only through TRIM when
 	// a checkpoint truncates the log.
 	ClassLog Class = -2
+
+	// ClassCompaction is the band carried by storage-backend maintenance
+	// I/O: LSM memtable flushes and compaction sweeps. It is the
+	// archetypal "semantically background" traffic — bulk reorganization
+	// no requester waits on — so it is always non-caching (reorganized
+	// blocks would only pollute the cache) and the device scheduler
+	// ranks it below the write buffer: ahead of the 1..N caching
+	// priorities in the ladder (a starved compaction eventually stalls
+	// foreground writes), but behind the latency-critical log and
+	// write-buffer classes, and throttled by the background token budget
+	// whenever foreground traffic is waiting.
+	ClassCompaction Class = -3
 )
 
 // String implements fmt.Stringer.
@@ -56,6 +68,8 @@ func (c Class) String() string {
 		return "write-buffer"
 	case ClassLog:
 		return "log"
+	case ClassCompaction:
+		return "compaction"
 	default:
 		return fmt.Sprintf("prio%d", int(c))
 	}
@@ -113,9 +127,14 @@ func (p PolicySpace) Sequential() Class { return Class(p.N - 1) }
 // workaround): N.
 func (p PolicySpace) Eviction() Class { return Class(p.N) }
 
-// NonCaching reports whether class c is at or beyond the non-caching
-// threshold t, i.e. blocks accessed with c are never admitted.
+// NonCaching reports whether blocks accessed with class c are never
+// admitted to cache: classes at or beyond the non-caching threshold t,
+// plus the compaction class — bulk reorganization traffic whose blocks
+// would only displace useful foreground data.
 func (p PolicySpace) NonCaching(c Class) bool {
+	if c == ClassCompaction {
+		return true
+	}
 	return c != ClassWriteBuffer && c != ClassLog && c != ClassNone && int(c) >= p.T
 }
 

@@ -54,6 +54,43 @@ func TestNonCaching(t *testing.T) {
 	if p.NonCaching(ClassNone) {
 		t.Error("ClassNone is not subject to the threshold")
 	}
+	if p.NonCaching(ClassLog) {
+		t.Error("log blocks are pinned in cache; the class is not non-caching")
+	}
+	if !p.NonCaching(ClassCompaction) {
+		t.Error("compaction traffic must never be admitted to cache")
+	}
+}
+
+// TestCompactionClassMatrix pins ClassCompaction's position in the
+// policy space across configurations: always non-caching regardless of
+// the threshold t, numerically below every special class (so it cannot
+// be confused with a caching priority), and distinct from the 1..N
+// priority ladder.
+func TestCompactionClassMatrix(t *testing.T) {
+	spaces := []PolicySpace{
+		DefaultPolicySpace(),
+		{N: 4, T: 3, WriteBufferFrac: 0.05, RandLow: 1, RandHigh: 2},
+		{N: 16, T: 15, WriteBufferFrac: 0.20, RandLow: 2, RandHigh: 10},
+	}
+	for i, p := range spaces {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("space %d invalid: %v", i, err)
+		}
+		if !p.NonCaching(ClassCompaction) {
+			t.Errorf("space %d: compaction caching", i)
+		}
+		// Compaction sits outside the priority ladder on the special
+		// (negative) side; it must never collide with a real priority.
+		if int(ClassCompaction) >= 1 {
+			t.Error("ClassCompaction inside the priority ladder")
+		}
+		for _, special := range []Class{ClassNone, ClassWriteBuffer, ClassLog} {
+			if ClassCompaction == special {
+				t.Errorf("ClassCompaction collides with %s", special)
+			}
+		}
+	}
 }
 
 func TestValidateRejectsBadSpaces(t *testing.T) {
@@ -78,6 +115,12 @@ func TestClassString(t *testing.T) {
 	}
 	if ClassWriteBuffer.String() != "write-buffer" {
 		t.Errorf("ClassWriteBuffer = %q", ClassWriteBuffer.String())
+	}
+	if ClassLog.String() != "log" {
+		t.Errorf("ClassLog = %q", ClassLog.String())
+	}
+	if ClassCompaction.String() != "compaction" {
+		t.Errorf("ClassCompaction = %q", ClassCompaction.String())
 	}
 	if Class(3).String() != "prio3" {
 		t.Errorf("Class(3) = %q", Class(3).String())

@@ -26,11 +26,12 @@ import (
 	"hstoragedb/internal/simclock"
 )
 
-// Database is the persistent half: schemas plus page contents. It knows
-// nothing about devices or caches.
+// Database is the persistent half: schemas plus page contents, held by
+// a pluggable storage backend (the extent heap store by default, or an
+// LSM tree). It knows nothing about devices or caches.
 type Database struct {
 	Cat   *catalog.Catalog
-	Store *pagestore.Store
+	Store pagestore.Backend
 }
 
 // InstanceConfig configures one attached engine instance.
@@ -51,6 +52,11 @@ type InstanceConfig struct {
 	// DisableLogClass strips the log classification from WAL traffic
 	// (ablation: log writes are delivered as ordinary Rule 4 updates).
 	DisableLogClass bool
+	// DisableCompactionClass strips the compaction classification from
+	// backend maintenance traffic (ablation: flush/compaction writes are
+	// delivered as ordinary Rule 4 updates, the way a
+	// classification-unaware storage manager would emit them).
+	DisableCompactionClass bool
 	// Obs optionally attaches an observability set (metrics registry +
 	// tracer). It is forwarded to the storage system (scheduler and
 	// devices) and the buffer pool; engine-side layers built later (lock
@@ -82,9 +88,15 @@ type Instance struct {
 	nextSID atomic.Int64
 }
 
-// NewDatabase creates an empty database.
+// NewDatabase creates an empty database over the extent heap backend.
 func NewDatabase() *Database {
-	return &Database{Cat: catalog.New(), Store: pagestore.NewStore()}
+	return NewDatabaseOn(pagestore.NewStore())
+}
+
+// NewDatabaseOn creates an empty database over an explicit storage
+// backend (e.g. an lsm.Store).
+func NewDatabaseOn(b pagestore.Backend) *Database {
+	return &Database{Cat: catalog.New(), Store: b}
 }
 
 // NewInstance attaches an engine instance to the database.
@@ -107,6 +119,7 @@ func (db *Database) NewInstance(cfg InstanceConfig) (*Instance, error) {
 	table := policy.NewAssignmentTable(space)
 	table.DisableRule5 = cfg.DisableRule5
 	table.DisableLogClass = cfg.DisableLogClass
+	table.DisableCompactionClass = cfg.DisableCompactionClass
 	mgr := storagemgr.New(db.Store, sys, table)
 	mgr.DisableTrim = cfg.DisableTrim
 	pool := bufferpool.New(mgr, cfg.BufferPoolPages)
@@ -317,7 +330,15 @@ func (inst *Instance) DropBufferPool() { inst.Pool.DropAll() }
 
 // Crash simulates killing the instance: every volatile page (the buffer
 // pool, including pinned uncommitted pages) is discarded without
-// write-back. The page store — the durable medium — survives; a fresh
-// instance attached to the same Database plays the role of the restarted
-// server and recovers from the WAL.
-func (inst *Instance) Crash() { inst.Pool.DropAll() }
+// write-back, and a backend holding volatile state (an LSM memtable)
+// drops it and reloads from its durable image. The durable medium
+// survives; a fresh instance attached to the same Database plays the
+// role of the restarted server and recovers from the WAL.
+func (inst *Instance) Crash() {
+	inst.Pool.DropAll()
+	if v, ok := inst.DB.Store.(pagestore.Volatile); ok {
+		// Backend recovery cannot fail upward from a crash simulation;
+		// a corrupt durable image would surface on the next access.
+		_ = v.Crash()
+	}
+}

@@ -191,6 +191,15 @@ type AssignmentTable struct {
 	// classification-unaware storage manager would emit it. Used by the
 	// OLTP ablation experiment.
 	DisableLogClass bool
+
+	// DisableCompactionClass, when set, strips the compaction
+	// classification from backend maintenance I/O: flush and compaction
+	// traffic is delivered as ordinary update traffic (Rule 4), the way
+	// a classification-unaware storage manager — which cannot tell a
+	// compaction write from a user update — would emit it. It then
+	// competes with real updates for write-buffer cache space and rank.
+	// Used by the lsm ablation experiment.
+	DisableCompactionClass bool
 }
 
 // NewAssignmentTable builds an assignment table over a fresh registry.
@@ -244,3 +253,22 @@ func (a *AssignmentTable) Classify(tag Tag) dss.Class {
 // TrimClass returns the policy attached to temporary-data deletion (Rule
 // 3): "non-caching and eviction".
 func (a *AssignmentTable) TrimClass() dss.Class { return a.Space.Eviction() }
+
+// CompactionClass returns the policy attached to storage-backend
+// maintenance I/O (memtable flushes, compaction sweeps): the dedicated
+// compaction band, or — under the DisableCompactionClass ablation — the
+// write-buffer class a classification-unaware manager would deliver
+// bulk rewrites under.
+func (a *AssignmentTable) CompactionClass() dss.Class {
+	if a.DisableCompactionClass {
+		return dss.ClassWriteBuffer
+	}
+	return dss.ClassCompaction
+}
+
+// MetaClass returns the policy attached to backend structure blocks
+// (bloom filters, index blocks) read on the foreground path: the
+// highest cacheable priority, so the hybrid cache pins hot structure
+// blocks the way Rule 3 pins temporary data — one structure block
+// serves every probe of its table.
+func (a *AssignmentTable) MetaClass() dss.Class { return a.Space.Temporary() }

@@ -221,3 +221,34 @@ func TestStringers(t *testing.T) {
 		t.Fatal("request type list")
 	}
 }
+
+// TestMaintenanceClasses pins the classes the storage manager attaches
+// to backend maintenance I/O, and the DisableCompactionClass ablation:
+// stripped of its dedicated band, compaction traffic degrades to the
+// write-buffer class and competes with real updates for cache space.
+func TestMaintenanceClasses(t *testing.T) {
+	a := NewAssignmentTable(dss.DefaultPolicySpace())
+	if got := a.CompactionClass(); got != dss.ClassCompaction {
+		t.Errorf("CompactionClass = %v", got)
+	}
+	if !a.Space.NonCaching(a.CompactionClass()) {
+		t.Error("compaction class admitted to cache")
+	}
+	if got := a.MetaClass(); got != a.Space.Temporary() {
+		t.Errorf("MetaClass = %v, want the pinned temporary priority", got)
+	}
+	if a.Space.NonCaching(a.MetaClass()) {
+		t.Error("structure blocks must be cacheable")
+	}
+	if got := a.TrimClass(); got != a.Space.Eviction() {
+		t.Errorf("TrimClass = %v", got)
+	}
+
+	a.DisableCompactionClass = true
+	if got := a.CompactionClass(); got != dss.ClassWriteBuffer {
+		t.Errorf("ablated CompactionClass = %v, want write buffer", got)
+	}
+	if a.Space.NonCaching(a.CompactionClass()) {
+		t.Error("ablated compaction must pollute the write buffer, i.e. be cacheable")
+	}
+}

@@ -30,9 +30,21 @@ type TypeStats struct {
 	Blocks   int64
 }
 
+// MaintStats counts the backend maintenance work the manager drained
+// and submitted: LSM flushes and compactions, their block traffic, and
+// the TRIMs compaction freed. All zero over a heap backend.
+type MaintStats struct {
+	Flushes               int64
+	Compactions           int64
+	FlushWriteBlocks      int64
+	CompactionReadBlocks  int64
+	CompactionWriteBlocks int64
+	TrimBlocks            int64
+}
+
 // Manager is the classification-enabled storage manager.
 type Manager struct {
-	store   *pagestore.Store
+	store   pagestore.Backend
 	storage hybrid.System
 	table   *policy.AssignmentTable
 
@@ -43,11 +55,12 @@ type Manager struct {
 
 	mu      sync.Mutex
 	types   map[policy.RequestType]*TypeStats
+	maint   MaintStats
 	tenants map[*simclock.Clock]dss.TenantID
 }
 
-// New builds a manager over a page store and a storage system.
-func New(store *pagestore.Store, storage hybrid.System, table *policy.AssignmentTable) *Manager {
+// New builds a manager over a storage backend and a storage system.
+func New(store pagestore.Backend, storage hybrid.System, table *policy.AssignmentTable) *Manager {
 	return &Manager{
 		store:   store,
 		storage: storage,
@@ -56,8 +69,8 @@ func New(store *pagestore.Store, storage hybrid.System, table *policy.Assignment
 	}
 }
 
-// Store exposes the underlying page store.
-func (m *Manager) Store() *pagestore.Store { return m.store }
+// Store exposes the underlying storage backend.
+func (m *Manager) Store() pagestore.Backend { return m.store }
 
 // Storage exposes the storage system under management.
 func (m *Manager) Storage() hybrid.System { return m.storage }
@@ -111,26 +124,51 @@ func (m *Manager) count(t policy.RequestType, blocks int) {
 
 // ReadPage reads one page, classifying the request per the assignment
 // table, charging the simulated I/O time to clk, and returning the page
-// content.
+// content. The backend's access plan is submitted in order, each access
+// waiting on the previous (a probe cannot read a data block before the
+// index block that located it); structure accesses carry the pinnable
+// meta class, data accesses the class the table assigned. An empty plan
+// (an LSM memtable absorbing the read) costs no device time.
 func (m *Manager) ReadPage(clk *simclock.Clock, tag policy.Tag, page int64) ([]byte, error) {
-	data, lba, err := m.store.ReadPage(tag.Object, page)
+	data, plan, err := m.store.Read(tag.Object, page)
 	if err != nil {
 		return nil, err
 	}
 	readTag := tag
 	readTag.Update = false // reads are never Rule 4 updates
 	class := m.table.Classify(readTag)
-	done := m.storage.Submit(clk.Now(), dss.Request{
-		Op:     device.Read,
-		LBA:    lba,
-		Blocks: 1,
-		Class:  class,
-		Stream: clk,
-		Tenant: m.tenantOf(clk),
-	})
-	clk.AdvanceTo(done)
+	m.submitPlan(clk, plan, class, false)
 	m.count(readTag.Type(), 1)
 	return data, nil
+}
+
+// submitPlan delivers a backend access plan through the DSS interface,
+// serializing dependent accesses on the caller's clock. Background
+// plans occupy the devices without advancing the clock.
+func (m *Manager) submitPlan(clk *simclock.Clock, plan []pagestore.Access, class dss.Class, background bool) {
+	tenant := m.tenantOf(clk)
+	for _, a := range plan {
+		op := device.Read
+		if a.Write {
+			op = device.Write
+		}
+		c := class
+		if a.Meta {
+			c = m.table.MetaClass()
+		}
+		done := m.storage.Submit(clk.Now(), dss.Request{
+			Op:         op,
+			LBA:        a.LBA,
+			Blocks:     a.Blocks,
+			Class:      c,
+			Stream:     clk,
+			Background: background,
+			Tenant:     tenant,
+		})
+		if !background {
+			clk.AdvanceTo(done)
+		}
+	}
 }
 
 // WritePage writes one page synchronously: the caller's clock advances to
@@ -138,8 +176,7 @@ func (m *Manager) ReadPage(clk *simclock.Clock, tag policy.Tag, page int64) ([]b
 // (Rule 3); all other writes are updates and carry the write buffer
 // policy (Rule 4).
 func (m *Manager) WritePage(clk *simclock.Clock, tag policy.Tag, page int64, data []byte) error {
-	_, err := m.writePage(clk, tag, page, data, false)
-	return err
+	return m.writePage(clk, tag, page, data, false)
 }
 
 // WritePageBackground writes one page without blocking the caller: the
@@ -148,14 +185,13 @@ func (m *Manager) WritePage(clk *simclock.Clock, tag policy.Tag, page int64, dat
 // background writer / OS-buffered temporary files: the DBMS never waits
 // for a dirty-page flush on its critical path.
 func (m *Manager) WritePageBackground(clk *simclock.Clock, tag policy.Tag, page int64, data []byte) error {
-	_, err := m.writePage(clk, tag, page, data, true)
-	return err
+	return m.writePage(clk, tag, page, data, true)
 }
 
-func (m *Manager) writePage(clk *simclock.Clock, tag policy.Tag, page int64, data []byte, background bool) (simclock.Duration, error) {
-	lba, err := m.store.WritePage(tag.Object, page, data)
+func (m *Manager) writePage(clk *simclock.Clock, tag policy.Tag, page int64, data []byte, background bool) error {
+	plan, err := m.store.Write(tag.Object, page, data)
 	if err != nil {
-		return 0, err
+		return err
 	}
 	writeTag := tag
 	if writeTag.Content != policy.Temp && writeTag.Content != policy.Log {
@@ -163,21 +199,100 @@ func (m *Manager) writePage(clk *simclock.Clock, tag policy.Tag, page int64, dat
 		// pinned log class; everything else written back is an update.
 		writeTag.Update = true
 	}
-	class := m.table.Classify(writeTag)
-	done := m.storage.Submit(clk.Now(), dss.Request{
-		Op:         device.Write,
-		LBA:        lba,
-		Blocks:     1,
-		Class:      class,
-		Stream:     clk,
-		Background: background,
-		Tenant:     m.tenantOf(clk),
-	})
-	if !background {
-		clk.AdvanceTo(done)
-	}
+	m.submitPlan(clk, plan, m.table.Classify(writeTag), background)
 	m.count(writeTag.Type(), 1)
-	return done, nil
+	// A write may have tipped the backend over its memtable threshold:
+	// deliver the resulting flush/compaction traffic.
+	m.drainMaint(clk)
+	return nil
+}
+
+// drainMaint pulls accumulated backend maintenance (memtable flushes,
+// compaction sweeps) and submits it as background traffic under the
+// compaction class: no requester waits on it, the scheduler serves it
+// below every foreground class out of the background token budget, and
+// the non-caching compaction class keeps bulk rewrites out of the SSD
+// cache. Compaction-freed extents are TRIMmed (under the usual eviction
+// class) so stale cached copies of reorganized blocks are invalidated.
+// Charged to no tenant: reorganization serves the whole backend.
+func (m *Manager) drainMaint(clk *simclock.Clock) {
+	mt, ok := m.store.(pagestore.Maintainer)
+	if !ok {
+		return
+	}
+	jobs := mt.DrainMaintenance()
+	if len(jobs) == 0 {
+		return
+	}
+	class := m.table.CompactionClass()
+	for _, job := range jobs {
+		var reads, writes int64
+		for _, a := range job.Accesses {
+			op := device.Read
+			if a.Write {
+				op = device.Write
+				writes += int64(a.Blocks)
+			} else {
+				reads += int64(a.Blocks)
+			}
+			m.storage.Submit(clk.Now(), dss.Request{
+				Op:         op,
+				LBA:        a.LBA,
+				Blocks:     a.Blocks,
+				Class:      class,
+				Background: true,
+			})
+		}
+		var trimmed int64
+		if !m.DisableTrim {
+			for _, e := range job.Trims {
+				if e.Pages == 0 {
+					continue
+				}
+				trimmed += e.Pages
+				m.storage.Submit(clk.Now(), dss.Request{
+					Kind:   dss.Trim,
+					LBA:    e.Start,
+					Blocks: int(e.Pages),
+					Class:  m.table.TrimClass(),
+				})
+			}
+		}
+		m.mu.Lock()
+		switch job.Kind {
+		case pagestore.MaintFlush:
+			m.maint.Flushes++
+			m.maint.FlushWriteBlocks += writes
+		case pagestore.MaintCompaction:
+			m.maint.Compactions++
+			m.maint.CompactionReadBlocks += reads
+			m.maint.CompactionWriteBlocks += writes
+		}
+		m.maint.TrimBlocks += trimmed
+		m.mu.Unlock()
+	}
+}
+
+// Sync forces the backend's volatile state (an LSM memtable and its
+// manifest) to durable media and submits the implied flush traffic.
+// The WAL calls it inside every checkpoint, after the buffer pool
+// flush: a checkpoint's promise — everything before it is on disk — must
+// hold through the backend too. A no-op over the heap backend.
+func (m *Manager) Sync(clk *simclock.Clock) error {
+	if s, ok := m.store.(pagestore.Syncer); ok {
+		if err := s.Sync(); err != nil {
+			return err
+		}
+	}
+	m.drainMaint(clk)
+	return nil
+}
+
+// MaintStats returns a snapshot of the maintenance counters.
+func (m *Manager) MaintStats() MaintStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.maint
 }
 
 // DeleteObject removes an object from the page store and informs the
@@ -191,7 +306,7 @@ func (m *Manager) DeleteObject(clk *simclock.Clock, id pagestore.ObjectID) error
 	if m.DisableTrim {
 		// Legacy path: file deletion changes only file-system metadata;
 		// the storage system is never told the blocks are dead.
-		return nil
+		exts = nil
 	}
 	for _, e := range exts {
 		if e.Pages == 0 {
@@ -206,6 +321,9 @@ func (m *Manager) DeleteObject(clk *simclock.Clock, id pagestore.ObjectID) error
 		})
 		clk.AdvanceTo(done)
 	}
+	// Deletion may free backend structures (dropped memtable runs do
+	// not, but a backend is free to schedule reclamation here).
+	m.drainMaint(clk)
 	return nil
 }
 
@@ -220,10 +338,11 @@ func (m *Manager) TypeStats() map[policy.RequestType]TypeStats {
 	return out
 }
 
-// ResetTypeStats clears the per-request-type counters.
+// ResetTypeStats clears the per-request-type and maintenance counters.
 func (m *Manager) ResetTypeStats() {
 	m.mu.Lock()
 	m.types = make(map[policy.RequestType]*TypeStats)
+	m.maint = MaintStats{}
 	m.mu.Unlock()
 }
 

@@ -29,7 +29,13 @@ type fixture struct {
 
 func newFixture(t *testing.T, poolPages int) *fixture {
 	t.Helper()
-	db := engine.NewDatabase()
+	return newFixtureOn(t, poolPages, engine.NewDatabase())
+}
+
+// newFixtureOn builds the fixture over a caller-supplied database, so
+// the same transaction tests run against any storage backend.
+func newFixtureOn(t *testing.T, poolPages int, db *engine.Database) *fixture {
+	t.Helper()
 	schema := catalog.NewSchema(
 		catalog.Column{Name: "id", Type: catalog.Int64},
 		catalog.Column{Name: "val", Type: catalog.String},

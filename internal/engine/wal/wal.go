@@ -363,9 +363,9 @@ func (m *Manager) segObject(seq int64) pagestore.ObjectID {
 	return m.cfg.BaseObject + 1 + pagestore.ObjectID(seq)
 }
 
-// Exists reports whether a WAL is present in the store (i.e. whether a
-// previous incarnation must be recovered rather than created).
-func Exists(store *pagestore.Store, cfg Config) bool {
+// Exists reports whether a WAL is present in the backend (i.e. whether
+// a previous incarnation must be recovered rather than created).
+func Exists(store pagestore.Backend, cfg Config) bool {
 	return store.Exists(cfg.withDefaults().BaseObject)
 }
 
@@ -509,6 +509,12 @@ func (m *Manager) Flush(clk *simclock.Clock, lsn LSN) error {
 func (m *Manager) Checkpoint(clk *simclock.Clock, pool *bufferpool.Pool) error {
 	ckptStart := clk.Now()
 	if err := pool.FlushAll(clk); err != nil {
+		return err
+	}
+	// The backend must hold everything the pool just flushed durably
+	// before the checkpoint record promises it: an LSM memtable flushes
+	// to its tree and persists its manifest here.
+	if err := m.mgr.Sync(clk); err != nil {
 		return err
 	}
 	lsn, err := m.Append(clk, Record{Kind: KindCheckpoint})

@@ -448,6 +448,13 @@ func (c *priorityCache) reallocate(meta *blockMeta, class dss.Class) {
 	case class == c.pol.Sequential():
 		// "Non-caching and non-eviction": the block's existing priority,
 		// determined by a previous request, is not affected.
+	case class == dss.ClassCompaction:
+		// Compaction reading (or rewriting) a block some foreground
+		// request cached does not disturb the layout: the block's
+		// residency was earned by the foreground class, and bulk
+		// reorganization passing over it says nothing about its future
+		// value. (Without this case the int(class) fallback would index
+		// a group that does not exist.)
 	case class == c.pol.Eviction():
 		// "Non-caching and eviction": demote so the block leaves cache
 		// timely.

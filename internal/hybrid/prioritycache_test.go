@@ -321,3 +321,31 @@ func TestRandomizedInvariants(t *testing.T) {
 		t.Fatal("random mix produced no cache hits at all")
 	}
 }
+
+// TestCompactionPreservesResidency: compaction sweeping over blocks
+// some foreground class cached neither admits new blocks (non-caching)
+// nor disturbs the residency the foreground class earned — and, being
+// a negative class outside the group array, it must not panic the
+// reallocation switch.
+func TestCompactionPreservesResidency(t *testing.T) {
+	c := newTestCache(t, 64)
+	c.Submit(0, read(2, 0, 8))
+	if got := c.Stats().CachedBlocks; got != 8 {
+		t.Fatalf("setup cached %d blocks", got)
+	}
+	// Compaction rereads the cached range and writes a fresh one.
+	c.Submit(0, read(dss.ClassCompaction, 0, 8))
+	c.Submit(0, write(dss.ClassCompaction, 100, 8))
+	s := c.Stats()
+	if s.CachedBlocks != 8 {
+		t.Fatalf("compaction changed residency: %d cached", s.CachedBlocks)
+	}
+	if s.Reallocs != 0 {
+		t.Fatalf("compaction reallocated %d blocks", s.Reallocs)
+	}
+	// The foreground blocks still hit at their original priority.
+	c.Submit(0, read(2, 0, 8))
+	if got := c.Stats().Hits; got < 16 {
+		t.Fatalf("hits = %d, want >= 16", got)
+	}
+}

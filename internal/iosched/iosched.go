@@ -245,6 +245,14 @@ func classRank(c dss.Class) int {
 		return -2
 	case dss.ClassWriteBuffer:
 		return -1
+	case dss.ClassCompaction:
+		// Below the write buffer, above the 1..N caching priorities:
+		// foreground-submitted compaction work (a saturated backend
+		// forcing a flush) must not starve behind every random read,
+		// but never delays a commit-critical log or write-buffer grant.
+		// Background-flagged compaction additionally lands in the
+		// background band like all background traffic.
+		return 0
 	case dss.ClassNone:
 		return 1 << 20
 	default:

@@ -1,0 +1,474 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"hstoragedb/internal/pagestore"
+)
+
+// pat builds a recognizable page payload.
+func pat(id pagestore.ObjectID, page int64, rev int) []byte {
+	return []byte(fmt.Sprintf("obj=%d page=%d rev=%d", id, page, rev))
+}
+
+func mustWrite(t *testing.T, s *Store, id pagestore.ObjectID, page int64, data []byte) {
+	t.Helper()
+	if _, err := s.Write(id, page, data); err != nil {
+		t.Fatalf("Write(%d,%d): %v", id, page, err)
+	}
+}
+
+func checkPage(t *testing.T, s *Store, id pagestore.ObjectID, page int64, want []byte) {
+	t.Helper()
+	got, _, err := s.Read(id, page)
+	if err != nil {
+		t.Fatalf("Read(%d,%d): %v", id, page, err)
+	}
+	if string(got[:len(want)]) != string(want) {
+		t.Fatalf("Read(%d,%d) = %q, want %q", id, page, got[:len(want)], want)
+	}
+}
+
+func smallConfig() Config {
+	return Config{MemtablePages: 8, L0Tables: 2}
+}
+
+func TestMemtableRoundTrip(t *testing.T) {
+	s := New(smallConfig())
+	if err := s.Create(1); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, s, 1, 0, pat(1, 0, 1))
+	mustWrite(t, s, 1, 3, pat(1, 3, 1))
+	checkPage(t, s, 1, 0, pat(1, 0, 1))
+	checkPage(t, s, 1, 3, pat(1, 3, 1))
+	if got := s.Pages(1); got != 4 {
+		t.Fatalf("Pages = %d, want 4", got)
+	}
+	// Never-written page reads as zeroes without device I/O.
+	data, plan, err := s.Read(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range data {
+		if b != 0 {
+			t.Fatal("unwritten page not zero")
+		}
+	}
+	if len(plan) != 0 {
+		t.Fatalf("empty tree probe produced %d accesses", len(plan))
+	}
+}
+
+func TestFlushAndProbePlan(t *testing.T) {
+	s := New(smallConfig())
+	if err := s.Create(1); err != nil {
+		t.Fatal(err)
+	}
+	for p := int64(0); p < 5; p++ {
+		mustWrite(t, s, 1, p, pat(1, p, 1))
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if s.MemtableLen() != 0 {
+		t.Fatal("memtable not empty after Sync")
+	}
+	jobs := s.DrainMaintenance()
+	if len(jobs) != 1 || jobs[0].Kind != pagestore.MaintFlush {
+		t.Fatalf("jobs = %+v, want one flush", jobs)
+	}
+	var writes int
+	for _, a := range jobs[0].Accesses {
+		if !a.Write {
+			t.Fatalf("flush job contains a read: %+v", a)
+		}
+		writes += a.Blocks
+	}
+	// 5 data + header + bloom + index + manifest slot.
+	if writes < 9 {
+		t.Fatalf("flush wrote %d blocks, want >= 9", writes)
+	}
+	// A tree read now costs bloom + index + data accesses.
+	data, plan, err := s.Read(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data[:len(pat(1, 2, 1))]) != string(pat(1, 2, 1)) {
+		t.Fatal("flushed page corrupt")
+	}
+	if len(plan) != 3 {
+		t.Fatalf("probe plan has %d accesses, want 3 (bloom, index, data)", len(plan))
+	}
+	if !plan[0].Meta || !plan[1].Meta || plan[2].Meta {
+		t.Fatalf("probe plan meta flags wrong: %+v", plan)
+	}
+}
+
+func TestCompactionMergesAndCollects(t *testing.T) {
+	s := New(smallConfig())
+	if err := s.Create(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create(2); err != nil {
+		t.Fatal(err)
+	}
+	// Two flush rounds trigger one compaction (L0Tables=2).
+	for p := int64(0); p < 8; p++ {
+		mustWrite(t, s, 1, p, pat(1, p, 1))
+	}
+	for p := int64(0); p < 8; p++ {
+		mustWrite(t, s, 2, p, pat(2, p, 1))
+	}
+	lv := s.TablesPerLevel()
+	if lv[0] != 0 || lv[1] != 1 {
+		t.Fatalf("levels = %v, want [0 1]", lv)
+	}
+	jobs := s.DrainMaintenance()
+	var compactions int
+	for _, j := range jobs {
+		if j.Kind == pagestore.MaintCompaction {
+			compactions++
+			if len(j.Trims) == 0 {
+				t.Fatal("compaction reported no trims")
+			}
+		}
+	}
+	if compactions != 1 {
+		t.Fatalf("compactions = %d, want 1", compactions)
+	}
+	for p := int64(0); p < 8; p++ {
+		checkPage(t, s, 1, p, pat(1, p, 1))
+		checkPage(t, s, 2, p, pat(2, p, 1))
+	}
+
+	// Deleting object 2 makes its versions garbage; the next compaction
+	// must not carry them into the output.
+	if _, err := s.Delete(2); err != nil {
+		t.Fatal(err)
+	}
+	for p := int64(0); p < 16; p++ {
+		mustWrite(t, s, 1, p, pat(1, p, 2))
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for s.TablesPerLevel()[0] > 0 {
+		// Force the tree into a single compacted run.
+		for p := int64(0); p < 16; p++ {
+			mustWrite(t, s, 1, p, pat(1, p, 3))
+		}
+		if err := s.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.mu.Lock()
+	for _, tb := range s.levels[1] {
+		for _, k := range tb.keys {
+			if k.obj == 2 {
+				s.mu.Unlock()
+				t.Fatal("deleted object's pages survived compaction")
+			}
+		}
+	}
+	s.mu.Unlock()
+}
+
+func TestOverwriteNewestWins(t *testing.T) {
+	s := New(smallConfig())
+	if err := s.Create(1); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, s, 1, 0, pat(1, 0, 1))
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, s, 1, 0, pat(1, 0, 2))
+	checkPage(t, s, 1, 0, pat(1, 0, 2)) // memtable over L0
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	checkPage(t, s, 1, 0, pat(1, 0, 2)) // newer L0 over older
+	mustWrite(t, s, 1, 0, pat(1, 0, 3))
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	checkPage(t, s, 1, 0, pat(1, 0, 3)) // post-compaction single copy
+}
+
+func TestTruncateInvalidatesVersions(t *testing.T) {
+	s := New(smallConfig())
+	if err := s.Create(1); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, s, 1, 0, pat(1, 0, 1))
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Truncate(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Pages(1); got != 0 {
+		t.Fatalf("Pages after truncate = %d", got)
+	}
+	data, _, err := s.Read(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range data {
+		if b != 0 {
+			t.Fatal("truncated page still readable")
+		}
+	}
+}
+
+func TestUnknownObject(t *testing.T) {
+	s := New(smallConfig())
+	if _, _, err := s.Read(9, 0); !errors.Is(err, pagestore.ErrUnknownObject) {
+		t.Fatalf("Read err = %v", err)
+	}
+	if _, err := s.Write(9, 0, nil); !errors.Is(err, pagestore.ErrUnknownObject) {
+		t.Fatalf("Write err = %v", err)
+	}
+	if _, err := s.Delete(9); !errors.Is(err, pagestore.ErrUnknownObject) {
+		t.Fatalf("Delete err = %v", err)
+	}
+}
+
+func TestCrashLosesMemtableKeepsSynced(t *testing.T) {
+	s := New(smallConfig())
+	if err := s.Create(1); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, s, 1, 0, pat(1, 0, 1))
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, s, 1, 1, pat(1, 1, 1)) // absorbed, never synced
+	if err := s.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	checkPage(t, s, 1, 0, pat(1, 0, 1))
+	data, _, err := s.Read(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range data {
+		if b != 0 {
+			t.Fatal("unsynced write survived crash")
+		}
+	}
+	// Registry is instantly durable: the object still exists even
+	// though it was created after the last Sync.
+	if err := s.Create(1); err == nil {
+		t.Fatal("Create(1) succeeded after crash; registry lost")
+	}
+}
+
+func TestKillPoints(t *testing.T) {
+	for _, tc := range []struct {
+		point   KillPoint
+		orphans bool
+	}{
+		{KillMidSSTable, true},
+		{KillBeforeManifest, true},
+		{KillMidManifest, true},
+	} {
+		t.Run(fmt.Sprint(tc.point), func(t *testing.T) {
+			s := New(smallConfig())
+			if err := s.Create(1); err != nil {
+				t.Fatal(err)
+			}
+			mustWrite(t, s, 1, 0, pat(1, 0, 1))
+			if err := s.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			versionBefore := s.Version()
+
+			mustWrite(t, s, 1, 1, pat(1, 1, 1))
+			s.Kill(tc.point)
+			if err := s.Sync(); !errors.Is(err, ErrKilled) {
+				t.Fatalf("Sync with kill point = %v, want ErrKilled", err)
+			}
+			if !s.Dead() {
+				t.Fatal("store not dead after kill")
+			}
+			if _, _, err := s.Read(1, 0); !errors.Is(err, ErrKilled) {
+				t.Fatalf("Read on dead store = %v, want ErrKilled", err)
+			}
+
+			if err := s.Crash(); err != nil {
+				t.Fatal(err)
+			}
+			// The interrupted flush never committed: recovery loads the
+			// previous manifest and discards the partial output.
+			if got := s.Version(); got != versionBefore {
+				t.Fatalf("version after recovery = %d, want %d", got, versionBefore)
+			}
+			if tc.orphans && s.OrphansDiscarded() == 0 {
+				t.Fatal("recovery discarded no orphans")
+			}
+			checkPage(t, s, 1, 0, pat(1, 0, 1))
+			data, _, err := s.Read(1, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, b := range data {
+				if b != 0 {
+					t.Fatal("killed flush's page visible after recovery")
+				}
+			}
+			// The store works again.
+			mustWrite(t, s, 1, 1, pat(1, 1, 2))
+			if err := s.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			checkPage(t, s, 1, 1, pat(1, 1, 2))
+		})
+	}
+}
+
+func TestManifestAlternatesSlots(t *testing.T) {
+	s := New(smallConfig())
+	if err := s.Create(1); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 5; round++ {
+		mustWrite(t, s, 1, int64(round), pat(1, int64(round), round))
+		if err := s.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Crash(); err != nil {
+			t.Fatal(err)
+		}
+		for p := int64(0); p <= int64(round); p++ {
+			checkPage(t, s, 1, p, pat(1, p, int(p)))
+		}
+	}
+}
+
+func TestDirectRegionPassThrough(t *testing.T) {
+	s := New(Config{})
+	const walObj = pagestore.ObjectID(1 << 29)
+	if err := s.Create(walObj); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := s.Write(walObj, 0, []byte("log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct writes hit the device immediately — the WAL cannot sit in
+	// the memtable it is responsible for making durable.
+	if len(plan) != 1 || !plan[0].Write {
+		t.Fatalf("direct write plan = %+v", plan)
+	}
+	if plan[0].LBA < directLBAOffset {
+		t.Fatalf("direct LBA %d not offset into the direct region", plan[0].LBA)
+	}
+	data, plan, err := s.Read(walObj, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data[:3]) != "log" {
+		t.Fatal("direct read corrupt")
+	}
+	if len(plan) != 1 || plan[0].LBA < directLBAOffset {
+		t.Fatalf("direct read plan = %+v", plan)
+	}
+	// Direct objects survive Crash untouched (in-place durability).
+	if err := s.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	data, _, err = s.Read(walObj, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data[:3]) != "log" {
+		t.Fatal("direct page lost in crash")
+	}
+	exts, err := s.Delete(walObj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range exts {
+		if e.Start < directLBAOffset {
+			t.Fatalf("direct delete extent %+v not offset", e)
+		}
+	}
+}
+
+func TestIteratorOrderAndRacingDelete(t *testing.T) {
+	s := New(smallConfig())
+	if err := s.Create(1); err != nil {
+		t.Fatal(err)
+	}
+	// Mix of flushed and memtable-resident pages.
+	for p := int64(0); p < 10; p++ {
+		mustWrite(t, s, 1, p, pat(1, p, 1))
+	}
+	it, err := s.Iter(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for want := int64(0); want < 10; want++ {
+		p, data, ok, err := it.Next()
+		if err != nil || !ok {
+			t.Fatalf("Next: ok=%v err=%v", ok, err)
+		}
+		if p != want {
+			t.Fatalf("iterator page %d, want %d", p, want)
+		}
+		if string(data[:len(pat(1, p, 1))]) != string(pat(1, p, 1)) {
+			t.Fatalf("iterator page %d corrupt", p)
+		}
+	}
+	if _, _, ok, _ := it.Next(); ok {
+		t.Fatal("iterator did not stop")
+	}
+
+	it2, err := s.Iter(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := it2.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := it2.Next(); !errors.Is(err, pagestore.ErrUnknownObject) {
+		t.Fatalf("Next after racing delete = %v, want ErrUnknownObject", err)
+	}
+}
+
+func TestAllocatorReusesCompactedSpace(t *testing.T) {
+	s := New(smallConfig())
+	if err := s.Create(1); err != nil {
+		t.Fatal(err)
+	}
+	var before int64
+	for round := 0; round < 20; round++ {
+		for p := int64(0); p < 8; p++ {
+			mustWrite(t, s, 1, p, pat(1, p, round))
+		}
+		if err := s.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if round == 5 {
+			s.mu.Lock()
+			before = s.nextLBA
+			s.mu.Unlock()
+		}
+	}
+	s.mu.Lock()
+	after := s.nextLBA
+	s.mu.Unlock()
+	// Steady-state overwrites of the same 8 pages must recycle freed
+	// table space rather than growing the device without bound.
+	if after > before*4 {
+		t.Fatalf("address space grew %d -> %d despite steady-state workload", before, after)
+	}
+	s.DrainMaintenance()
+}

@@ -80,6 +80,15 @@ type Config struct {
 	// registry carries per-shard wal/iosched/cache series side by side;
 	// the coordinator's 2PC spans record under the base set.
 	Obs *obs.Set
+	// Backend, when non-nil, builds each shard's storage backend (one
+	// call per shard). Nil selects the extent heap store.
+	Backend func() pagestore.Backend
+	// DisableCompactionClass strips the compaction classification from
+	// each shard's backend maintenance I/O (the lsm experiment's
+	// ablation arm): flushes and compactions are submitted under the
+	// write-buffer class instead, competing with real updates for
+	// cache space.
+	DisableCompactionClass bool
 }
 
 // Shard is one node of the cluster: a database, a running instance, its
@@ -141,7 +150,12 @@ func New(cfg Config) (*Cluster, error) {
 	cfg = cfg.withDefaults()
 	c := &Cluster{cfg: cfg}
 	for i := 0; i < cfg.Shards; i++ {
-		db := engine.NewDatabase()
+		var db *engine.Database
+		if cfg.Backend != nil {
+			db = engine.NewDatabaseOn(cfg.Backend())
+		} else {
+			db = engine.NewDatabase()
+		}
 		s, err := newShardOver(cfg, i, db, false)
 		if err != nil {
 			return nil, err
@@ -164,11 +178,12 @@ func New(cfg Config) (*Cluster, error) {
 // fresh WAL) to an existing database.
 func newShardOver(cfg Config, id int, db *engine.Database, recover bool) (*Shard, error) {
 	inst, err := db.NewInstance(engine.InstanceConfig{
-		Storage:         cfg.Storage,
-		BufferPoolPages: cfg.BufferPoolPages,
-		WorkMem:         cfg.WorkMem,
-		CPUPerTuple:     cfg.CPUPerTuple,
-		Obs:             shardObs(cfg.Obs, id),
+		Storage:                cfg.Storage,
+		BufferPoolPages:        cfg.BufferPoolPages,
+		WorkMem:                cfg.WorkMem,
+		CPUPerTuple:            cfg.CPUPerTuple,
+		DisableCompactionClass: cfg.DisableCompactionClass,
+		Obs:                    shardObs(cfg.Obs, id),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("shard %d: %w", id, err)

@@ -138,26 +138,38 @@ func (co *Coordinator) commit(rs *Session, parts []*Part) error {
 	clk := &rs.sess[0].Clk // coordinator co-located with shard 0
 
 	start := rs.Now()
-	// Phase 1: prepare every participant. Each force rides its shard's
-	// group-commit batch.
+	// Phase 1: prepare every participant concurrently and gate on all
+	// acks. Each force rides its own shard's group-commit batch; issuing
+	// them together means every participant joins its shard's *current*
+	// batch, so the phase costs one parallel round of prepares instead
+	// of a chain — issued sequentially, each later prepare would join a
+	// later batch on a clock that concurrent traffic kept advancing,
+	// making commit latency grow linearly in the participant count.
+	prepErrs := make([]error, len(parts))
+	var wg sync.WaitGroup
 	for i, p := range parts {
 		co.prepares.Add(1)
-		if err := p.T.Prepare(gtid); err != nil {
-			// Presumed abort: no decision record needed. The failed
-			// participant already released; the prepared ones roll back.
-			for _, q := range parts {
-				if q == p {
-					break
-				}
-				_ = q.T.Abort()
-			}
-			for _, q := range parts[i+1:] {
-				_ = q.T.Abort()
-			}
-			co.aborts.Add(1)
-			co.mAborts.Inc()
-			return err
+		wg.Add(1)
+		go func(i int, p *Part) {
+			defer wg.Done()
+			prepErrs[i] = p.T.Prepare(gtid)
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range prepErrs {
+		if err == nil {
+			continue
 		}
+		// Presumed abort: no decision record needed. Failed participants
+		// already released; the prepared ones roll back.
+		for i, q := range parts {
+			if prepErrs[i] == nil {
+				_ = q.T.Abort()
+			}
+		}
+		co.aborts.Add(1)
+		co.mAborts.Inc()
+		return err
 	}
 
 	// The decision happens-after every prepare: advance the coordinator
